@@ -1,0 +1,938 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (Benoit, Perotin, Robert, Sun: "Online Scheduling of Moldable Task Graphs
+   under Common Speedup Models", ICPP 2022) and runs Bechamel
+   micro-benchmarks of the implementation.
+
+   Run with: dune exec bench/main.exe
+   Vector/graph artifacts (DOT, SVG) are written to ./paper_artifacts/. *)
+
+open Moldable_model
+open Moldable_graph
+open Moldable_sim
+open Moldable_util
+open Moldable_core
+open Moldable_theory
+open Moldable_adversary
+open Moldable_analysis
+
+let section title =
+  let bar = String.make 72 '=' in
+  Printf.printf "\n%s\n%s\n%s\n\n" bar title bar
+
+let artifacts_dir = "paper_artifacts"
+
+let write_artifact name content =
+  if not (Sys.file_exists artifacts_dir) then Sys.mkdir artifacts_dir 0o755;
+  let oc = open_out (Filename.concat artifacts_dir name) in
+  output_string oc content;
+  close_out oc;
+  Printf.printf "  [artifact] %s/%s\n" artifacts_dir name
+
+(* ------------------------------------------------- Table 1: upper bounds *)
+
+let table1_upper () =
+  section
+    "Table 1 (upper bounds) — competitive ratios of Algorithm 1, recomputed \
+     by numerically minimizing the Lemma 5 ratio over mu (Theorems 1-4)";
+  let tab =
+    Texttab.create
+      ~headers:[ "model"; "mu*"; "x*"; "ratio (ours)"; "paper"; "match" ]
+  in
+  List.iter
+    (fun (r : Model_bounds.row) ->
+      Texttab.add_row tab
+        [
+          Model_bounds.family_name r.Model_bounds.family;
+          Printf.sprintf "%.4f" r.Model_bounds.mu_star;
+          (match r.Model_bounds.family with
+          | Model_bounds.Roofline -> "-"
+          | _ -> Printf.sprintf "%.4f" r.Model_bounds.x_star_value);
+          Printf.sprintf "%.4f" r.Model_bounds.ratio;
+          Printf.sprintf "%.2f" r.Model_bounds.paper_ratio;
+          (if
+             r.Model_bounds.ratio <= r.Model_bounds.paper_ratio +. 5e-3
+             && r.Model_bounds.ratio >= r.Model_bounds.paper_ratio -. 0.02
+           then "yes"
+           else "NO");
+        ])
+    (Model_bounds.table1_upper ());
+  Texttab.print tab
+
+(* ------------------------------------------------- Table 1: lower bounds *)
+
+let table1_lower () =
+  section
+    "Table 1 (lower bounds) — lower bounds on Algorithm 1's competitiveness \
+     (closed forms of Theorems 5-8)";
+  let tab =
+    Texttab.create ~headers:[ "model"; "mu"; "bound (ours)"; "paper"; "match" ]
+  in
+  List.iter
+    (fun (r : Lower_bounds.row) ->
+      Texttab.add_row tab
+        [
+          Model_bounds.family_name r.Lower_bounds.family;
+          Printf.sprintf "%.4f" r.Lower_bounds.mu;
+          Printf.sprintf "%.4f" r.Lower_bounds.bound;
+          Printf.sprintf "%.2f" r.Lower_bounds.paper_bound;
+          (if Float.abs (r.Lower_bounds.bound -. r.Lower_bounds.paper_bound)
+              < 0.02
+           then "yes"
+           else "NO");
+        ])
+    (Lower_bounds.table1_lower ());
+  Texttab.print tab
+
+(* ----------------------------------- Table 1: lower bounds, by simulation *)
+
+let table1_measured () =
+  section
+    "Table 1 (lower bounds, measured) — Algorithm 1 executed on the \
+     adversarial graphs of Figure 1; the ratio vs the constructive offline \
+     schedule climbs toward the theorem's limit as P grows";
+  let tab =
+    Texttab.create
+      ~headers:
+        [ "instance"; "P"; "tasks"; "T(alg1)"; "T(offline)"; "ratio"; "limit" ]
+  in
+  let row inst =
+    let result = Instances.run_online inst in
+    let t = Schedule.makespan result.Engine.schedule in
+    (* The simulation must land exactly on the proof's prediction. *)
+    assert (Fcmp.approx ~eps:1e-6 t inst.Instances.predicted_online);
+    Texttab.add_row tab
+      [
+        inst.Instances.name;
+        string_of_int inst.Instances.p;
+        string_of_int (Dag.n inst.Instances.dag);
+        Printf.sprintf "%.2f" t;
+        Printf.sprintf "%.2f" inst.Instances.alternative_makespan;
+        Printf.sprintf "%.4f" (t /. inst.Instances.alternative_makespan);
+        Printf.sprintf "%.4f" inst.Instances.limit_ratio;
+      ]
+  in
+  List.iter (fun p -> row (Instances.roofline ~p)) [ 100; 1000; 10000 ];
+  Texttab.add_sep tab;
+  List.iter (fun p -> row (Instances.communication ~p)) [ 100; 500; 2000 ];
+  Texttab.add_sep tab;
+  List.iter (fun k -> row (Instances.amdahl ~k)) [ 10; 30; 100 ];
+  Texttab.add_sep tab;
+  List.iter (fun k -> row (Instances.general ~k)) [ 10; 30; 100 ];
+  Texttab.print tab
+
+(* ------------------------------------ Convergence plots (measured ratios) *)
+
+let convergence_plots () =
+  section
+    "Convergence plots — measured Algorithm 1 ratio on the adversarial \
+     instances vs platform scale, against each theorem's limit";
+  let ratio inst =
+    let r = Instances.run_online inst in
+    Schedule.makespan r.Engine.schedule /. inst.Instances.alternative_makespan
+  in
+  let comm_points =
+    List.map
+      (fun p -> (float_of_int p, ratio (Instances.communication ~p)))
+      [ 20; 40; 80; 160; 320; 640; 1280 ]
+  in
+  let amdahl_points =
+    List.map
+      (fun k -> (float_of_int (k * k), ratio (Instances.amdahl ~k)))
+      [ 6; 9; 14; 20; 30; 45; 70 ]
+  in
+  let general_points =
+    List.map
+      (fun k -> (float_of_int (k * k), ratio (Instances.general ~k)))
+      [ 7; 10; 15; 22; 33; 50; 70 ]
+  in
+  let limit name inst = (inst.Instances.limit_ratio, name) in
+  print_string
+    (Moldable_viz.Ascii_plot.render ~x_log:true ~xlabel:"P" ~ylabel:"T / T_offline"
+       ~hlines:
+         [
+           limit "Thm 6 limit" (Instances.communication ~p:20);
+           limit "Thm 7 limit" (Instances.amdahl ~k:6);
+           limit "Thm 8 limit" (Instances.general ~k:7);
+         ]
+       [
+         { Moldable_viz.Ascii_plot.label = "communication"; glyph = 'c';
+           points = comm_points };
+         { Moldable_viz.Ascii_plot.label = "amdahl"; glyph = 'a';
+           points = amdahl_points };
+         { Moldable_viz.Ascii_plot.label = "general"; glyph = 'g';
+           points = general_points };
+       ])
+
+(* ---------------------------------------------------------------- Table 2 *)
+
+let table2 () =
+  section
+    "Table 2 — instances of the scheduling problem (literature \
+     classification; static, from the paper's Section 2)";
+  let tab = Texttab.create ~headers:[ "problem instance"; "offline"; "online" ] in
+  Texttab.add_row tab
+    [
+      "independent moldable tasks";
+      "Turek+ '92; Jansen '12; Jansen&Land '18";
+      "Dutton&Mao '07; Havill&Mao '08; Kell&Havill '15; Ye+ '18";
+    ];
+  Texttab.add_row tab
+    [
+      "moldable task graphs";
+      "Wang&Cheng '92; Lepere+ '01; Jansen&Zhang '06; Chen&Chu '13";
+      "Feldmann+ '98 (roofline); THIS PAPER (comm/Amdahl/general)";
+    ];
+  Texttab.print tab
+
+(* ---------------------------------------------------------------- Figure 1 *)
+
+let figure1 () =
+  section
+    "Figure 1 — the generic adversarial task graph ((X+1)Y+1 tasks), \
+     instantiated for each lower-bound theorem";
+  let tab =
+    Texttab.create ~headers:[ "theorem"; "P"; "X"; "Y"; "tasks"; "edges"; "height" ]
+  in
+  let describe name inst =
+    let dag = inst.Instances.dag in
+    (* Recover X and Y from the structure: Y = height - 1 (A-chain plus C). *)
+    let y = Moldable_graph.Topo.height dag - 1 in
+    let x = if y = 0 then 0 else (Dag.n dag - 1 - y) / y in
+    Texttab.add_row tab
+      [
+        name;
+        string_of_int inst.Instances.p;
+        string_of_int x;
+        string_of_int y;
+        string_of_int (Dag.n dag);
+        string_of_int (Dag.n_edges dag);
+        string_of_int (Moldable_graph.Topo.height dag);
+      ]
+  in
+  describe "Thm 6 (comm), P=30" (Instances.communication ~p:30);
+  describe "Thm 7 (amdahl), K=8" (Instances.amdahl ~k:8);
+  describe "Thm 8 (general), K=8" (Instances.general ~k:8);
+  Texttab.print tab;
+  let small = Instances.communication ~p:12 in
+  write_artifact "figure1_generic_graph.dot"
+    (Moldable_viz.Dot.of_dag ~name:"figure1"
+       ~show_speedup:false small.Instances.dag)
+
+(* ---------------------------------------------------------------- Figure 2 *)
+
+let figure2 () =
+  section
+    "Figure 2 — schedule shapes on the adversarial graph (communication \
+     model, P=16): (a) Algorithm 1 processes layers one after another; (b) \
+     the clairvoyant schedule packs A's, B's and C";
+  let inst = Instances.communication ~p:16 in
+  let online = Instances.run_online inst in
+  let label i = (Dag.task inst.Instances.dag i).Task.label in
+  Printf.printf "(a) Algorithm 1 (makespan %.2f):\n%s\n"
+    (Schedule.makespan online.Engine.schedule)
+    (Moldable_viz.Gantt.render ~width:72 ~max_rows:16 ~legend:false ~label
+       online.Engine.schedule);
+  Printf.printf "(b) clairvoyant alternative (makespan %.2f):\n%s\n"
+    inst.Instances.alternative_makespan
+    (Moldable_viz.Gantt.render ~width:72 ~max_rows:16 ~legend:false ~label
+       inst.Instances.alternative);
+  write_artifact "figure2a_online.svg"
+    (Moldable_viz.Svg.of_schedule ~label online.Engine.schedule);
+  write_artifact "figure2b_offline.svg"
+    (Moldable_viz.Svg.of_schedule ~label inst.Instances.alternative)
+
+(* ---------------------------------------------------------------- Figure 3 *)
+
+let figure3 () =
+  section
+    "Figure 3 — the Theorem 9 chain instance for l=2: K=4, 15 chains in 4 \
+     groups, 26 identical tasks with t(p) = 1/(lg p + 1), P = 32";
+  let inst = Chains.build ~ell:2 in
+  let tab = Texttab.create ~headers:[ "group"; "chains"; "tasks/chain" ] in
+  for g = 1 to inst.Chains.k do
+    let n =
+      Array.fold_left
+        (fun acc x -> if x = g then acc + 1 else acc)
+        0 inst.Chains.group
+    in
+    Texttab.add_row tab [ string_of_int g; string_of_int n; string_of_int g ]
+  done;
+  Texttab.print tab;
+  Printf.printf "total: %d chains, %d tasks, P = %d\n"
+    (Array.length inst.Chains.chains)
+    (Dag.n inst.Chains.dag) inst.Chains.p;
+  write_artifact "figure3_chains.dot"
+    (Moldable_viz.Dot.of_dag ~name:"figure3" inst.Chains.dag)
+
+(* ---------------------------------------------------------------- Figure 4 *)
+
+let figure4 () =
+  section
+    "Figure 4 — schedules of the Figure 3 instance: (a) offline, makespan \
+     exactly 1; (b) online equal-allocation against the Lemma 10 adversary, \
+     breakpoints t1..t4 (paper: 1/2, 5/6, ~1.07, ~1.23)";
+  let inst = Chains.build ~ell:2 in
+  let off = Chain_adversary.offline_schedule inst in
+  Validate.check_exn ~dag:inst.Chains.dag off;
+  Printf.printf "(a) offline schedule: makespan = %.6f (paper: 1.0)\n\n%s\n"
+    (Schedule.makespan off)
+    (Moldable_viz.Gantt.render ~width:72 ~max_rows:16 ~legend:false off);
+  let o = Chain_adversary.equal_split ~ell:2 in
+  let eq = Chain_adversary.equal_split_schedule inst in
+  Validate.check_exn ~dag:inst.Chains.dag eq;
+  let paper = [| 0.5; 5. /. 6.; 1.07; 1.23 |] in
+  let tab = Texttab.create ~headers:[ "breakpoint"; "ours"; "paper" ] in
+  Array.iteri
+    (fun i t ->
+      Texttab.add_row tab
+        [
+          Printf.sprintf "t%d" (i + 1);
+          Printf.sprintf "%.4f" t;
+          Printf.sprintf "%.2f" paper.(i);
+        ])
+    o.Chain_adversary.breakpoints;
+  Texttab.print tab;
+  Printf.printf "\n(b) equal-allocation schedule (makespan %.4f):\n\n%s\n"
+    (Schedule.makespan eq)
+    (Moldable_viz.Gantt.render ~width:72 ~max_rows:16 ~legend:false eq);
+  write_artifact "figure4a_offline.svg" (Moldable_viz.Svg.of_schedule off);
+  write_artifact "figure4b_online.svg" (Moldable_viz.Svg.of_schedule eq)
+
+(* ------------------------------------------------------ Theorem 9 scaling *)
+
+let theorem9 () =
+  section
+    "Theorem 9 — Omega(ln D) lower bound for any deterministic online \
+     algorithm under arbitrary speedups (offline makespan = 1 throughout)";
+  let tab =
+    Texttab.create
+      ~headers:
+        [
+          "l"; "K = D"; "chains"; "ln K - ln l - 1/l"; "Lemma 10 sum";
+          "equal-split"; "Algorithm 1";
+        ]
+  in
+  List.iter
+    (fun ell ->
+      let params = Arbitrary_lb.params ~ell in
+      let eq = Chain_adversary.equal_split ~ell in
+      let alg1 =
+        if ell <= 3 then begin
+          let mu = Mu.default Speedup.Kind_general in
+          let alloc =
+            Chain_adversary.algorithm2_alloc ~mu ~p:params.Arbitrary_lb.p
+          in
+          Printf.sprintf "%.3f"
+            (Chain_adversary.list_scheduling ~alloc ~ell)
+              .Chain_adversary.makespan
+        end
+        else "-"
+      in
+      Texttab.add_row tab
+        [
+          string_of_int ell;
+          string_of_int params.Arbitrary_lb.k;
+          string_of_int params.Arbitrary_lb.n_chains;
+          Printf.sprintf "%.3f" (Arbitrary_lb.log_gap ~ell);
+          Printf.sprintf "%.3f" (Arbitrary_lb.adversary_gap_sum ~ell);
+          Printf.sprintf "%.3f" eq.Chain_adversary.makespan;
+          alg1;
+        ])
+    [ 1; 2; 3; 4; 5 ];
+  Texttab.print tab;
+  print_string
+    "Every online strategy stays above the Lemma 10 sum; the offline optimum \
+     is 1,\nso the ratio grows as Omega(ln D) with D = K tasks on the longest \
+     path.\n"
+
+(* ------------------------------------- Empirical validation (future work) *)
+
+let empirical () =
+  section
+    "Empirical validation — Algorithm 1 vs baselines on random and realistic \
+     workloads (the experimental study the paper's conclusion proposes). \
+     Ratios are T / max(A_min/P, C_min); the proven bound caps Algorithm 1 \
+     but not the baselines.";
+  let seeds = Rng.create 20220829 in
+  let instances_per_family = 25 in
+  List.iter
+    (fun (kind, bound) ->
+      let rng = Rng.split seeds in
+      let dags_layered =
+        List.init instances_per_family (fun _ ->
+            Moldable_workloads.Random_dag.layered ~rng ~n_layers:6 ~width:8
+              ~edge_prob:0.25 ~kind ())
+      in
+      let dags_linalg =
+        List.init 5 (fun i ->
+            Moldable_workloads.Linalg.cholesky ~rng ~tiles:(4 + i) ~kind ())
+      in
+      let dags_sci =
+        List.init 5 (fun i ->
+            Moldable_workloads.Scientific.montage ~rng ~width:(8 + (4 * i))
+              ~kind ())
+      in
+      let dags_cyber =
+        List.init 3 (fun i ->
+            Moldable_workloads.Scientific.cybershake ~rng ~sites:(3 + i)
+              ~variations:8 ~kind ())
+      in
+      let dags_ligo =
+        List.init 3 (fun i ->
+            Moldable_workloads.Scientific.ligo ~rng ~blocks:(3 + i)
+              ~per_block:10 ~kind ())
+      in
+      let policies =
+        Experiment.algorithm1_fixed_mu (Mu.default kind)
+        :: List.tl Experiment.default_policies
+      in
+      let outcomes =
+        Experiment.evaluate ~p:64 ~workload:"layered" ~policies dags_layered
+        @ Experiment.evaluate ~p:64 ~workload:"cholesky" ~policies dags_linalg
+        @ Experiment.evaluate ~p:64 ~workload:"montage" ~policies dags_sci
+        @ Experiment.evaluate ~p:64 ~workload:"cybershake" ~policies dags_cyber
+        @ Experiment.evaluate ~p:64 ~workload:"ligo" ~policies dags_ligo
+      in
+      Printf.printf "--- %s model (proven bound %.2f) ---\n"
+        (Speedup.kind_name kind) bound;
+      print_string (Report.table ~bound outcomes);
+      print_newline ())
+    [
+      (Speedup.Kind_roofline, 2.62);
+      (Speedup.Kind_communication, 3.61);
+      (Speedup.Kind_amdahl, 4.74);
+      (Speedup.Kind_general, 5.72);
+    ]
+
+(* -------------------------------- Independent moldable tasks (Table 2 row 1) *)
+
+let independent_section () =
+  section
+    "Independent moldable tasks (the first row of Table 2): the paper's \
+     DAG algorithm vs the classic related-work algorithms — Turek et al.'s \
+     offline dual-approximation and the Ye et al.-style canonical-allotment \
+     online rule";
+  let rng = Rng.create 1_992 in
+  let tab =
+    Texttab.create
+      ~headers:
+        [ "model"; "n"; "P"; "LB"; "Alg 1 (online)"; "Ye canonical (online)";
+          "Turek (offline)"; "3 tau*" ]
+  in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun (n, p) ->
+          let dag =
+            Moldable_workloads.Random_dag.independent ~rng ~n ~kind ()
+          in
+          let lb = (Bounds.compute ~p dag).Bounds.lower_bound in
+          let alg1 = Online_scheduler.makespan ~p dag in
+          let ye =
+            Schedule.makespan
+              (Moldable_indep.Ye.run ~p dag).Engine.schedule
+          in
+          let turek = Moldable_indep.Turek.schedule ~p dag in
+          Texttab.add_row tab
+            [
+              Speedup.kind_name kind;
+              string_of_int n;
+              string_of_int p;
+              Printf.sprintf "%.1f" lb;
+              Printf.sprintf "%.1f (%.2fx)" alg1 (alg1 /. lb);
+              Printf.sprintf "%.1f (%.2fx)" ye (ye /. lb);
+              Printf.sprintf "%.1f (%.2fx)" turek.Moldable_indep.Turek.makespan
+                (turek.Moldable_indep.Turek.makespan /. lb);
+              Printf.sprintf "%.1f"
+                (3. *. turek.Moldable_indep.Turek.tau_star);
+            ])
+        [ (50, 16); (200, 64); (500, 128) ])
+    [ Speedup.Kind_roofline; Speedup.Kind_communication; Speedup.Kind_amdahl;
+      Speedup.Kind_general ];
+  Texttab.print tab;
+  print_string
+    "The offline dual-approximation always respects its 3 tau* guarantee and \
+     the\npaper's Algorithm 1 tracks it closely even without clairvoyance. \
+     The bare\ncanonical allotment over-parallelizes large task sets with \
+     strong sequential\nfractions (Amdahl) — the contention cap that Ye et \
+     al. add on top is what\nrestores their constant ratio.\n"
+
+(* -------------------------------------------------- Ablation: mu sensitivity *)
+
+let mu_sensitivity () =
+  section
+    "Ablation — sensitivity to mu: the theoretical ratio (Lemma 5, \
+     minimized over x) and the measured worst ratio on a fixed batch of \
+     layered DAGs, as mu sweeps the admissible range";
+  let rng = Rng.create 123_456 in
+  let batches =
+    List.map
+      (fun kind ->
+        ( kind,
+          List.init 10 (fun _ ->
+              Moldable_workloads.Random_dag.layered ~rng ~n_layers:5 ~width:8
+                ~edge_prob:0.25 ~kind ()) ))
+      [ Speedup.Kind_communication; Speedup.Kind_amdahl; Speedup.Kind_general ]
+  in
+  let family_of = function
+    | Speedup.Kind_communication -> Model_bounds.Communication
+    | Speedup.Kind_amdahl -> Model_bounds.Amdahl
+    | _ -> Model_bounds.General
+  in
+  let mus = [ 0.10; 0.15; 0.21; 0.27; 0.32; 0.38 ] in
+  let tab =
+    Texttab.create
+      ~headers:
+        ("model"
+        :: List.map (fun mu -> Printf.sprintf "mu=%.2f" mu) mus)
+  in
+  List.iter
+    (fun (kind, dags) ->
+      let theory_row =
+        List.map
+          (fun mu ->
+            let ub = Model_bounds.upper_bound_at (family_of kind) ~mu in
+            if ub = infinity then "inf" else Printf.sprintf "%.2f" ub)
+          mus
+      in
+      Texttab.add_row tab ((Speedup.kind_name kind ^ " (theory)") :: theory_row);
+      let measured_row =
+        List.map
+          (fun mu ->
+            let worst = ref 1. in
+            List.iter
+              (fun dag ->
+                let _, ratio =
+                  Experiment.run_one ~p:64
+                    (Experiment.algorithm1_fixed_mu mu) dag
+                in
+                worst := Float.max !worst ratio)
+              dags;
+            Printf.sprintf "%.2f" !worst)
+          mus
+      in
+      Texttab.add_row tab
+        ((Speedup.kind_name kind ^ " (measured)") :: measured_row))
+    batches;
+  Texttab.print tab;
+  print_string
+    "Measured worst ratios vary far less than the theoretical curve: the \
+     bound's\nsensitivity to mu is a worst-case phenomenon.\n"
+
+(* ------------------------------------------- Future work: power-law model *)
+
+let power_law_section () =
+  section
+    "Future work — the Prasanna-Musicus power-law model t(p) = w/p^alpha \
+     (one of the 'other common speedup models' of Section 6): Algorithm 2's \
+     area inflation grows as allocation^(1-alpha), so the ratio vs the \
+     Lemma 2 bound grows with P — no constant competitive ratio";
+  let tab =
+    Texttab.create
+      ~headers:
+        ([ "alpha" ]
+        @ List.map (fun p -> Printf.sprintf "P=%d" p) [ 32; 128; 512; 2048 ])
+  in
+  List.iter
+    (fun alpha ->
+      let row =
+        List.map
+          (fun p ->
+            let tasks =
+              List.init 64 (fun id ->
+                  Task.make ~id (Speedup.Power { w = 100.; alpha }))
+            in
+            let dag = Dag.create ~tasks ~edges:[] in
+            let makespan = Online_scheduler.makespan ~p dag in
+            let lb = (Bounds.compute ~p dag).Bounds.lower_bound in
+            Printf.sprintf "%.2f" (makespan /. lb))
+          [ 32; 128; 512; 2048 ]
+      in
+      Texttab.add_row tab (Printf.sprintf "%.2f" alpha :: row))
+    [ 0.5; 0.7; 0.9; 1.0 ];
+  Texttab.print tab;
+  print_string
+    "alpha = 1 is linear speedup (roofline-like, ratio stays constant); \
+     smaller\nalpha inflates the area of every allocation and the ratio \
+     diverges with P.\n"
+
+(* ------------------------------------------- Ablation: failure resilience *)
+
+let failures_section () =
+  section
+    "Extension — failure-prone execution (the semi-online scenario of \
+     Benoit et al. the paper says its results carry over to): Algorithm 1 \
+     re-executing failed tasks, expected slowdown ~ 1/(1-q)";
+  let rng = Rng.create 31_337 in
+  let dag =
+    Moldable_workloads.Random_dag.layered ~rng ~n_layers:6 ~width:8
+      ~edge_prob:0.25 ~kind:Speedup.Kind_amdahl ()
+  in
+  let p = 64 in
+  let base =
+    (Failure_engine.run ~seed:1 ~failures:Failure_engine.never ~p
+       (Online_scheduler.policy ~allocator:Allocator.algorithm2_per_model ~p
+          ())
+       dag)
+      .Failure_engine.makespan
+  in
+  let tab =
+    Texttab.create
+      ~headers:
+        [ "failure prob q"; "attempts"; "failures"; "makespan"; "slowdown";
+          "1/(1-q)" ]
+  in
+  List.iter
+    (fun q ->
+      let r =
+        Failure_engine.run ~seed:1
+          ~failures:(Failure_engine.bernoulli ~q)
+          ~p
+          (Online_scheduler.policy ~allocator:Allocator.algorithm2_per_model
+             ~p ())
+          dag
+      in
+      (match Failure_engine.validate ~dag ~p r with
+      | Ok () -> ()
+      | Error es -> failwith (String.concat "; " es));
+      Texttab.add_row tab
+        [
+          Printf.sprintf "%.2f" q;
+          string_of_int r.Failure_engine.n_attempts;
+          string_of_int r.Failure_engine.n_failures;
+          Printf.sprintf "%.2f" r.Failure_engine.makespan;
+          Printf.sprintf "%.3f" (r.Failure_engine.makespan /. base);
+          Printf.sprintf "%.3f" (1. /. (1. -. q));
+        ])
+    [ 0.0; 0.1; 0.2; 0.3; 0.5 ];
+  Texttab.print tab
+
+(* --------------------------------------- Extension: tasks released over time *)
+
+let release_times_section () =
+  section
+    "Extension — independent moldable tasks released over time (the online \
+     setting of Ye et al. and the paper's future work): Poisson arrivals, \
+     Algorithm 1 vs min-time list scheduling";
+  let rng = Rng.create 8_642 in
+  let n = 120 and p = 64 in
+  let dag =
+    Moldable_workloads.Random_dag.independent ~rng ~n
+      ~kind:Speedup.Kind_amdahl ()
+  in
+  let releases = Array.make n 0. in
+  let t = ref 0. in
+  for i = 0 to n - 1 do
+    t := !t +. Rng.exponential rng 0.4;
+    releases.(i) <- !t
+  done;
+  let tab =
+    Texttab.create
+      ~headers:[ "policy"; "makespan"; "mean wait"; "max wait"; "utilization" ]
+  in
+  List.iter
+    (fun (name, policy) ->
+      let result = Engine.run ~release_times:releases ~p (policy ~p) dag in
+      Validate.check_exn ~dag result.Engine.schedule;
+      let m = Metrics.of_result result in
+      Texttab.add_row tab
+        [
+          name;
+          Printf.sprintf "%.2f" m.Metrics.makespan;
+          Printf.sprintf "%.3f" m.Metrics.mean_wait;
+          Printf.sprintf "%.3f" m.Metrics.max_wait;
+          Printf.sprintf "%.1f%%" (100. *. m.Metrics.average_utilization);
+        ])
+    [
+      ( "Algorithm 1",
+        fun ~p ->
+          Online_scheduler.policy ~allocator:Allocator.algorithm2_per_model ~p
+            () );
+      ("min-time list", fun ~p -> Baselines.min_time_list ~p);
+      ("sequential list", fun ~p -> Baselines.sequential_list ~p);
+    ];
+  Texttab.print tab
+
+(* --------------------------------- Rigid vs moldable vs malleable regimes *)
+
+let regimes_section () =
+  section
+    "Rigid vs moldable vs malleable (the taxonomy of the paper's \
+     introduction): externally fixed allocations, Algorithm 1's moldable \
+     allocations, and dynamically reallocated execution, on the same \
+     workloads (ratios vs the Lemma 2 bound)";
+  let rng = Rng.create 10_101 in
+  let tab =
+    Texttab.create
+      ~headers:[ "workload"; "rigid (p_max)"; "moldable (Alg 1)"; "malleable" ]
+  in
+  List.iter
+    (fun (name, dag) ->
+      let p = 48 in
+      let lb = (Bounds.compute ~p dag).Bounds.lower_bound in
+      let rigid =
+        Schedule.makespan
+          (Online_scheduler.run ~allocator:Allocator.min_time ~p dag)
+            .Engine.schedule
+      in
+      let moldable = Online_scheduler.makespan ~p dag in
+      let malleable =
+        (Malleable_engine.equal_share ~p dag).Malleable_engine.makespan
+      in
+      Texttab.add_row tab
+        [
+          name;
+          Printf.sprintf "%.3f" (rigid /. lb);
+          Printf.sprintf "%.3f" (moldable /. lb);
+          Printf.sprintf "%.3f" (malleable /. lb);
+        ])
+    [
+      ( "layered/amdahl",
+        Moldable_workloads.Random_dag.layered ~rng ~n_layers:5 ~width:8
+          ~edge_prob:0.25 ~kind:Speedup.Kind_amdahl () );
+      ( "layered/comm",
+        Moldable_workloads.Random_dag.layered ~rng ~n_layers:5 ~width:8
+          ~edge_prob:0.25 ~kind:Speedup.Kind_communication () );
+      ( "cholesky-7/amdahl",
+        Moldable_workloads.Linalg.cholesky ~rng ~tiles:7
+          ~kind:Speedup.Kind_amdahl () );
+      ( "montage-16/general",
+        Moldable_workloads.Scientific.montage ~rng ~width:16
+          ~kind:Speedup.Kind_general () );
+      ( "independent/roofline",
+        Moldable_workloads.Random_dag.independent ~rng ~n:60
+          ~kind:Speedup.Kind_roofline () );
+    ];
+  Texttab.print tab;
+  print_string
+    "Moldability recovers most of malleability's advantage over rigid \
+     requirements\n— the paper's motivation for the moldable middle ground.\n"
+
+(* ----------------------------------------- Offline clairvoyant comparison *)
+
+let offline_section () =
+  section
+    "Offline clairvoyant comparison — the best of three critical-path list \
+     schedules upper-bounds T_opt more tightly than the Lemma 2 lower bound; \
+     the true competitive ratio of Algorithm 1 lies within [T/T_off, T/LB]";
+  let rng = Rng.create 55_555 in
+  let tab =
+    Texttab.create
+      ~headers:
+        [ "workload"; "T(online)"; "T(cp best)"; "T(CPA)"; "T(search)"; "LB";
+          "T/T_best"; "T/LB" ]
+  in
+  List.iter
+    (fun (name, dag) ->
+      let p = 64 in
+      let online = Online_scheduler.makespan ~p dag in
+      let _, off = Offline.best_of ~p ~schedulers:Offline.named dag in
+      let cpa = Schedule.makespan (Cpa.schedule ~p dag).Engine.schedule in
+      let search =
+        Schedule.makespan
+          (Offline.randomized_search ~restarts:48 ~rng ~p dag).Engine.schedule
+      in
+      let best_off = Float.min (Float.min off search) cpa in
+      let lb = (Bounds.compute ~p dag).Bounds.lower_bound in
+      Texttab.add_row tab
+        [
+          name;
+          Printf.sprintf "%.2f" online;
+          Printf.sprintf "%.2f" off;
+          Printf.sprintf "%.2f" cpa;
+          Printf.sprintf "%.2f" search;
+          Printf.sprintf "%.2f" lb;
+          Printf.sprintf "%.3f" (online /. best_off);
+          Printf.sprintf "%.3f" (online /. lb);
+        ])
+    [
+      ( "layered/amdahl",
+        Moldable_workloads.Random_dag.layered ~rng ~n_layers:6 ~width:8
+          ~edge_prob:0.25 ~kind:Speedup.Kind_amdahl () );
+      ( "cholesky-8/amdahl",
+        Moldable_workloads.Linalg.cholesky ~rng ~tiles:8
+          ~kind:Speedup.Kind_amdahl () );
+      ( "lu-7/general",
+        Moldable_workloads.Linalg.lu ~rng ~tiles:7 ~kind:Speedup.Kind_general
+          () );
+      ( "montage-24/comm",
+        Moldable_workloads.Scientific.montage ~rng ~width:24
+          ~kind:Speedup.Kind_communication () );
+      ( "epigenomics-6x10/general",
+        Moldable_workloads.Scientific.epigenomics ~rng ~lanes:6 ~fanout:10
+          ~kind:Speedup.Kind_general () );
+    ];
+  Texttab.print tab
+
+(* -------------------------------------------------- Lemma instrumentation *)
+
+let lemmas_section () =
+  section
+    "Proof-framework instrumentation — Lemmas 3, 4 and 5 evaluated on every \
+     Algorithm 1 run of a mixed batch (all must hold)";
+  let rng = Rng.create 424242 in
+  let total = ref 0 and held = ref 0 in
+  List.iter
+    (fun kind ->
+      let mu = Mu.default kind in
+      for _ = 1 to 15 do
+        let dag =
+          Moldable_workloads.Random_dag.layered ~rng ~n_layers:5 ~width:6
+            ~edge_prob:0.3 ~kind ()
+        in
+        let p = Rng.int_range rng 8 128 in
+        let sched =
+          (Online_scheduler.run ~allocator:(Allocator.algorithm2 ~mu) ~p dag)
+            .Engine.schedule
+        in
+        let report = Lemmas.verify ~mu ~dag sched in
+        incr total;
+        if report.Lemmas.all_hold then incr held
+      done)
+    [ Speedup.Kind_roofline; Speedup.Kind_communication; Speedup.Kind_amdahl;
+      Speedup.Kind_general ];
+  Printf.printf "Lemma 3/4/5 inequalities held on %d / %d runs.\n" !held !total;
+  assert (!held = !total)
+
+(* ------------------------------------------------------------ Scalability *)
+
+let scalability () =
+  section
+    "Scalability — wall-clock time to build, bound and schedule growing \
+     layered DAGs with Algorithm 1 (single core)";
+  let rng = Rng.create 4_242 in
+  let tab =
+    Texttab.create
+      ~headers:[ "tasks"; "edges"; "P"; "schedule time"; "tasks/s" ]
+  in
+  List.iter
+    (fun (layers, width, p) ->
+      let dag =
+        Moldable_workloads.Random_dag.layered ~rng ~n_layers:layers ~width
+          ~edge_prob:0.08 ~kind:Speedup.Kind_amdahl ()
+      in
+      (* Repeat until the measurement is long enough for Sys.time's
+         resolution, then report the per-run average. *)
+      let result = Online_scheduler.run ~p dag in
+      Validate.check_exn ~dag result.Engine.schedule;
+      let reps = ref 0 in
+      let t0 = Sys.time () in
+      while Sys.time () -. t0 < 0.2 do
+        ignore (Online_scheduler.run ~p dag);
+        incr reps
+      done;
+      let dt = (Sys.time () -. t0) /. float_of_int (max 1 !reps) in
+      Texttab.add_row tab
+        [
+          string_of_int (Dag.n dag);
+          string_of_int (Dag.n_edges dag);
+          string_of_int p;
+          Printf.sprintf "%.4f s" dt;
+          Printf.sprintf "%.0f" (float_of_int (Dag.n dag) /. Float.max 1e-9 dt);
+        ])
+    [ (20, 20, 64); (50, 40, 128); (100, 100, 256); (200, 250, 512) ];
+  Texttab.print tab
+
+(* ------------------------------------------------ Bechamel micro-benchmarks *)
+
+let micro_benchmarks () =
+  section
+    "Micro-benchmarks (Bechamel) — implementation throughput, monotonic \
+     clock, OLS ns/run";
+  let open Bechamel in
+  let rng0 = Rng.create 99 in
+  let dag_small =
+    Moldable_workloads.Random_dag.layered ~rng:rng0 ~n_layers:5 ~width:6
+      ~edge_prob:0.3 ~kind:Speedup.Kind_general ()
+  in
+  let dag_large =
+    Moldable_workloads.Random_dag.layered ~rng:rng0 ~n_layers:20 ~width:25
+      ~edge_prob:0.15 ~kind:Speedup.Kind_amdahl ()
+  in
+  let chol =
+    Moldable_workloads.Linalg.cholesky ~rng:rng0 ~tiles:10
+      ~kind:Speedup.Kind_amdahl ()
+  in
+  let task_probe =
+    Task.make ~id:0 (Speedup.General { w = 500.; ptilde = 300; d = 2.; c = 0.1 })
+  in
+  let tests =
+    [
+      Test.make ~name:"allocator: Algorithm 2, P=1024"
+        (Staged.stage (fun () ->
+             ignore
+               ((Allocator.algorithm2 ~mu:0.2113).Allocator.allocate ~p:1024
+                  task_probe)));
+      Test.make ~name:"bounds: A_min/C_min on Cholesky-10 (220 tasks)"
+        (Staged.stage (fun () -> ignore (Bounds.compute ~p:256 chol)));
+      Test.make
+        ~name:
+          (Printf.sprintf "schedule: Algorithm 1, %d-task layered DAG, P=64"
+             (Dag.n dag_small))
+        (Staged.stage (fun () ->
+             ignore (Online_scheduler.makespan ~p:64 dag_small)));
+      Test.make
+        ~name:
+          (Printf.sprintf "schedule: Algorithm 1, %d-task layered DAG, P=256"
+             (Dag.n dag_large))
+        (Staged.stage (fun () ->
+             ignore (Online_scheduler.makespan ~p:256 dag_large)));
+      Test.make ~name:"theory: Table 1 optimization (4 families)"
+        (Staged.stage (fun () -> ignore (Model_bounds.table1_upper ())));
+      Test.make ~name:"adversary: equal-split rounds, l=4"
+        (Staged.stage (fun () -> ignore (Chain_adversary.equal_split ~ell:4)));
+    ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    let raw = Benchmark.all cfg [ instance ] test in
+    let ols =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:true
+           ~predictors:[| Measure.run |])
+        instance raw
+    in
+    ols
+  in
+  let grouped = Test.make_grouped ~name:"moldable" ~fmt:"%s/%s" tests in
+  let results = benchmark grouped in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] ->
+        if ns > 1e6 then Printf.printf "  %-55s %10.3f ms/run\n" name (ns /. 1e6)
+        else if ns > 1e3 then
+          Printf.printf "  %-55s %10.3f us/run\n" name (ns /. 1e3)
+        else Printf.printf "  %-55s %10.1f ns/run\n" name ns
+      | _ -> Printf.printf "  %-55s (no estimate)\n" name)
+    results
+
+let () =
+  Printf.printf
+    "Reproduction harness: Online Scheduling of Moldable Task Graphs under \
+     Common Speedup Models (ICPP 2022)\n";
+  table1_upper ();
+  table1_lower ();
+  table1_measured ();
+  convergence_plots ();
+  table2 ();
+  figure1 ();
+  figure2 ();
+  figure3 ();
+  figure4 ();
+  theorem9 ();
+  empirical ();
+  independent_section ();
+  mu_sensitivity ();
+  power_law_section ();
+  failures_section ();
+  release_times_section ();
+  regimes_section ();
+  offline_section ();
+  lemmas_section ();
+  scalability ();
+  micro_benchmarks ();
+  Printf.printf "\nAll sections completed.\n"

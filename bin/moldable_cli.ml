@@ -1,0 +1,369 @@
+(* Command-line driver for the moldable-scheduling library.
+
+   Subcommands:
+     table1    recompute both rows of Table 1
+     figure    regenerate a figure (1-4) on stdout (DOT / Gantt)
+     theorem9  the Omega(ln D) scaling table
+     simulate  generate a workload, schedule it, report and/or draw it
+     verify    run Algorithm 1 and check the Lemma 3/4/5 inequalities
+     sweep     compare policies over random instances *)
+
+open Cmdliner
+open Moldable_model
+open Moldable_graph
+open Moldable_sim
+open Moldable_util
+open Moldable_core
+open Moldable_theory
+open Moldable_adversary
+open Moldable_analysis
+
+(* ------------------------------------------------------- shared arguments *)
+
+let kind_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "roofline" -> Ok Speedup.Kind_roofline
+    | "communication" | "comm" -> Ok Speedup.Kind_communication
+    | "amdahl" -> Ok Speedup.Kind_amdahl
+    | "general" -> Ok Speedup.Kind_general
+    | "power" -> Ok Speedup.Kind_power
+    | other -> Error (`Msg (Printf.sprintf "unknown speedup model %S" other))
+  in
+  Arg.conv (parse, fun ppf k -> Format.fprintf ppf "%s" (Speedup.kind_name k))
+
+let kind_arg =
+  Arg.(
+    value
+    & opt kind_conv Speedup.Kind_general
+    & info [ "m"; "model" ] ~docv:"MODEL"
+        ~doc:"Speedup model: roofline, communication, amdahl, general or power.")
+
+let p_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "p"; "procs" ] ~docv:"P" ~doc:"Number of processors.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"PRNG seed (runs are reproducible).")
+
+let workload_conv =
+  Arg.enum
+    [
+      ("layered", `Layered); ("erdos", `Erdos); ("independent", `Independent);
+      ("chain", `Chain); ("fork-join", `Fork_join); ("cholesky", `Cholesky);
+      ("lu", `Lu); ("montage", `Montage); ("epigenomics", `Epigenomics);
+      ("cybershake", `Cybershake); ("ligo", `Ligo);
+    ]
+
+let workload_arg =
+  Arg.(
+    value & opt workload_conv `Layered
+    & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+        ~doc:
+          "Workload family: layered, erdos, independent, chain, fork-join, \
+           cholesky, lu, montage, epigenomics, cybershake or ligo.")
+
+let size_arg =
+  Arg.(
+    value & opt int 40
+    & info [ "n"; "size" ] ~docv:"N"
+        ~doc:"Workload size (task count target / tiles / width).")
+
+let make_workload which ~rng ~n ~kind =
+  match which with
+  | `Layered ->
+    Moldable_workloads.Random_dag.layered ~rng ~n_layers:(max 2 (n / 8))
+      ~width:8 ~edge_prob:0.3 ~kind ()
+  | `Erdos ->
+    Moldable_workloads.Random_dag.erdos_renyi ~rng ~n ~edge_prob:0.1 ~kind ()
+  | `Independent -> Moldable_workloads.Random_dag.independent ~rng ~n ~kind ()
+  | `Chain -> Moldable_workloads.Structured.chain ~rng ~n ~kind ()
+  | `Fork_join ->
+    Moldable_workloads.Structured.fork_join ~rng ~stages:(max 1 (n / 10))
+      ~width:8 ~kind ()
+  | `Cholesky ->
+    Moldable_workloads.Linalg.cholesky ~rng ~tiles:(max 2 (n / 10)) ~kind ()
+  | `Lu -> Moldable_workloads.Linalg.lu ~rng ~tiles:(max 2 (n / 10)) ~kind ()
+  | `Montage -> Moldable_workloads.Scientific.montage ~rng ~width:n ~kind ()
+  | `Epigenomics ->
+    Moldable_workloads.Scientific.epigenomics ~rng ~lanes:4
+      ~fanout:(max 1 (n / 4)) ~kind ()
+  | `Cybershake ->
+    Moldable_workloads.Scientific.cybershake ~rng ~sites:(max 1 (n / 10))
+      ~variations:8 ~kind ()
+  | `Ligo ->
+    Moldable_workloads.Scientific.ligo ~rng ~blocks:(max 1 (n / 12))
+      ~per_block:10 ~kind ()
+
+(* ---------------------------------------------------------------- table1 *)
+
+let table1_cmd =
+  let run () =
+    let tab =
+      Texttab.create ~headers:[ "model"; "upper (ours)"; "paper"; "lower (ours)"; "paper" ]
+    in
+    let uppers = Model_bounds.table1_upper () in
+    let lowers = Lower_bounds.table1_lower () in
+    List.iter2
+      (fun (u : Model_bounds.row) (l : Lower_bounds.row) ->
+        Texttab.add_row tab
+          [
+            Model_bounds.family_name u.Model_bounds.family;
+            Printf.sprintf "%.4f" u.Model_bounds.ratio;
+            Printf.sprintf "%.2f" u.Model_bounds.paper_ratio;
+            Printf.sprintf "%.4f" l.Lower_bounds.bound;
+            Printf.sprintf "%.2f" l.Lower_bounds.paper_bound;
+          ])
+      uppers lowers;
+    Texttab.print tab
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Recompute both rows of Table 1.")
+    Term.(const run $ const ())
+
+(* ---------------------------------------------------------------- figure *)
+
+let figure_cmd =
+  let run n p =
+    match n with
+    | 1 ->
+      let inst = Instances.communication ~p:(max 12 p) in
+      print_string (Moldable_viz.Dot.of_dag ~name:"figure1" inst.Instances.dag)
+    | 2 ->
+      let inst = Instances.communication ~p:(max 12 (min p 64)) in
+      let online = Instances.run_online inst in
+      let label i = (Dag.task inst.Instances.dag i).Task.label in
+      Printf.printf "(a) Algorithm 1:\n%s\n"
+        (Moldable_viz.Gantt.render ~width:72 ~legend:false ~label
+           online.Engine.schedule);
+      Printf.printf "(b) clairvoyant alternative:\n%s"
+        (Moldable_viz.Gantt.render ~width:72 ~legend:false ~label
+           inst.Instances.alternative)
+    | 3 ->
+      let inst = Chains.build ~ell:2 in
+      print_string (Moldable_viz.Dot.of_dag ~name:"figure3" inst.Chains.dag)
+    | 4 ->
+      let inst = Chains.build ~ell:2 in
+      let off = Chain_adversary.offline_schedule inst in
+      let eq = Chain_adversary.equal_split_schedule inst in
+      Printf.printf "(a) offline, makespan %.4f:\n%s\n" (Schedule.makespan off)
+        (Moldable_viz.Gantt.render ~width:72 ~max_rows:16 ~legend:false off);
+      Printf.printf "(b) online equal-allocation, makespan %.4f:\n%s"
+        (Schedule.makespan eq)
+        (Moldable_viz.Gantt.render ~width:72 ~max_rows:16 ~legend:false eq)
+    | other -> Printf.eprintf "no figure %d (the paper has figures 1-4)\n" other
+  in
+  let n_arg =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"N" ~doc:"Figure number (1-4).")
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate a figure of the paper on stdout.")
+    Term.(const run $ n_arg $ p_arg 16)
+
+(* -------------------------------------------------------------- theorem9 *)
+
+let theorem9_cmd =
+  let run () =
+    let tab =
+      Texttab.create
+        ~headers:[ "l"; "K"; "ln K - ln l - 1/l"; "Lemma 10 sum"; "equal-split" ]
+    in
+    List.iter
+      (fun ell ->
+        let params = Arbitrary_lb.params ~ell in
+        Texttab.add_row tab
+          [
+            string_of_int ell;
+            string_of_int params.Arbitrary_lb.k;
+            Printf.sprintf "%.3f" (Arbitrary_lb.log_gap ~ell);
+            Printf.sprintf "%.3f" (Arbitrary_lb.adversary_gap_sum ~ell);
+            Printf.sprintf "%.3f"
+              (Chain_adversary.equal_split ~ell).Chain_adversary.makespan;
+          ])
+      [ 1; 2; 3; 4; 5 ];
+    Texttab.print tab
+  in
+  Cmd.v
+    (Cmd.info "theorem9" ~doc:"The Omega(ln D) lower-bound scaling table.")
+    Term.(const run $ const ())
+
+(* -------------------------------------------------------------- simulate *)
+
+let simulate_cmd =
+  let run kind p seed workload n gantt svg load save swf =
+    let rng = Rng.create seed in
+    let dag, releases =
+      match (load, swf) with
+      | Some _, Some _ ->
+        Printf.eprintf "--load and --swf are mutually exclusive\n";
+        exit 1
+      | Some path, None -> (
+        match Dag_io.of_file path with
+        | Ok dag -> (dag, None)
+        | Error e ->
+          Printf.eprintf "cannot load %s: %s\n" path e;
+          exit 1)
+      | None, Some path -> (
+        match Moldable_workloads.Swf.parse_file path with
+        | Ok jobs when jobs <> [] ->
+          let dag, rel = Moldable_workloads.Swf.to_workload ~rng jobs in
+          (dag, Some rel)
+        | Ok _ ->
+          Printf.eprintf "trace %s contains no usable jobs\n" path;
+          exit 1
+        | Error e ->
+          Printf.eprintf "cannot parse %s: %s\n" path e;
+          exit 1)
+      | None, None -> (make_workload workload ~rng ~n ~kind, None)
+    in
+    (match save with
+    | None -> ()
+    | Some path -> (
+      match Dag_io.to_file path dag with
+      | Ok () -> Printf.printf "saved graph to %s\n" path
+      | Error e ->
+        Printf.eprintf "cannot save %s: %s\n" path e;
+        exit 1));
+    let result =
+      Engine.run ?release_times:releases ~p
+        (Online_scheduler.policy
+           ~allocator:Allocator.algorithm2_per_model ~p ())
+        dag
+    in
+    Validate.check_exn ~dag result.Engine.schedule;
+    let bounds = Bounds.compute ~p dag in
+    let makespan = Schedule.makespan result.Engine.schedule in
+    Printf.printf "%s\n" (Format.asprintf "%a" Dag.pp_stats dag);
+    Printf.printf "%s\n" (Format.asprintf "%a" Bounds.pp bounds);
+    Printf.printf "makespan %.4f  ratio-vs-LB %.4f  avg-utilization %.1f%%\n"
+      makespan
+      (makespan /. bounds.Bounds.lower_bound)
+      (100. *. Schedule.average_utilization result.Engine.schedule);
+    if gantt then
+      print_string
+        (Moldable_viz.Gantt.render ~width:100
+           ~label:(fun i -> (Dag.task dag i).Task.label)
+           result.Engine.schedule);
+    match svg with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Moldable_viz.Svg.of_schedule
+           ~label:(fun i -> (Dag.task dag i).Task.label)
+           result.Engine.schedule);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+  in
+  let gantt_arg =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.")
+  in
+  let svg_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg" ] ~docv:"FILE" ~doc:"Write the schedule as SVG to $(docv).")
+  in
+  let load_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load" ] ~docv:"FILE"
+          ~doc:"Load the task graph from $(docv) instead of generating one.")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Write the task graph to $(docv).")
+  in
+  let swf_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "swf" ] ~docv:"TRACE"
+          ~doc:
+            "Replay a Standard Workload Format trace: jobs become \
+             independent moldable tasks released at their submit times.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Generate (or load) a workload, run Algorithm 1 on it and report.")
+    Term.(
+      const run $ kind_arg $ p_arg 64 $ seed_arg $ workload_arg $ size_arg
+      $ gantt_arg $ svg_arg $ load_arg $ save_arg $ swf_arg)
+
+(* ---------------------------------------------------------------- verify *)
+
+let verify_cmd =
+  let run kind p seed workload n =
+    let rng = Rng.create seed in
+    let dag = make_workload workload ~rng ~n ~kind in
+    let mu = Mu.default kind in
+    let sched =
+      (Online_scheduler.run ~allocator:(Allocator.algorithm2 ~mu) ~p dag)
+        .Engine.schedule
+    in
+    Validate.check_exn ~dag sched;
+    let report = Lemmas.verify ~mu ~dag sched in
+    Format.printf "%a@." Lemmas.pp report;
+    if not report.Lemmas.all_hold then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Run Algorithm 1 and check the Lemma 3/4/5 inequalities of the \
+          analysis on the schedule.")
+    Term.(const run $ kind_arg $ p_arg 64 $ seed_arg $ workload_arg $ size_arg)
+
+(* ----------------------------------------------------------------- sweep *)
+
+let sweep_cmd =
+  let run kind p seed reps =
+    let rng = Rng.create seed in
+    let dags =
+      List.init reps (fun _ ->
+          Moldable_workloads.Random_dag.layered ~rng ~n_layers:6 ~width:8
+            ~edge_prob:0.25 ~kind ())
+    in
+    let policies =
+      Experiment.algorithm1_fixed_mu (Mu.default kind)
+      :: List.tl Experiment.default_policies
+    in
+    let outcomes = Experiment.evaluate ~p ~workload:"layered" ~policies dags in
+    let bound =
+      match kind with
+      | Speedup.Kind_roofline -> 2.62
+      | Speedup.Kind_communication -> 3.61
+      | Speedup.Kind_amdahl -> 4.74
+      | Speedup.Kind_general | Speedup.Kind_power | Speedup.Kind_arbitrary -> 5.72
+    in
+    print_string (Report.table ~bound outcomes)
+  in
+  let reps_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "r"; "reps" ] ~docv:"R" ~doc:"Number of random instances.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Compare Algorithm 1 against the baselines on random instances.")
+    Term.(const run $ kind_arg $ p_arg 64 $ seed_arg $ reps_arg)
+
+let () =
+  let info =
+    Cmd.info "moldable"
+      ~doc:
+        "Online scheduling of moldable task graphs (ICPP 2022 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ table1_cmd; figure_cmd; theorem9_cmd; simulate_cmd; verify_cmd;
+            sweep_cmd ]))

@@ -1,0 +1,48 @@
+(* Replaying a supercomputer job log: a synthetic Standard Workload Format
+   trace (Poisson arrivals, power-of-two-leaning widths, as in the Parallel
+   Workloads Archive logs) is converted to independent moldable tasks with
+   Amdahl speedups fitted through each job's observed (procs, runtime)
+   point, then scheduled online by Algorithm 1 and by two baselines.
+
+   Run with: dune exec examples/trace_replay.exe *)
+
+open Moldable_sim
+open Moldable_util
+open Moldable_core
+open Moldable_workloads
+
+let () =
+  let rng = Rng.create 777 in
+  let jobs = Swf.synthetic ~rng ~n:200 ~mean_interarrival:45. ~max_procs:64 in
+  let dag, releases = Swf.to_workload ~model:(`Amdahl (0.02, 0.15)) ~rng jobs in
+  let p = 128 in
+  let horizon = Array.fold_left Float.max 0. releases in
+  Printf.printf
+    "Replaying a synthetic SWF trace: %d jobs over %.0f s on %d processors\n\n"
+    (List.length jobs) horizon p;
+  Printf.printf "  %-18s %12s %12s %12s %8s\n" "policy" "makespan" "mean wait"
+    "max wait" "util";
+  List.iter
+    (fun (name, make) ->
+      let result = Engine.run ~release_times:releases ~p (make ~p) dag in
+      Validate.check_exn ~dag result.Engine.schedule;
+      let m = Moldable_analysis.Metrics.of_result result in
+      Printf.printf "  %-18s %12.1f %12.2f %12.2f %7.1f%%\n" name
+        m.Moldable_analysis.Metrics.makespan
+        m.Moldable_analysis.Metrics.mean_wait
+        m.Moldable_analysis.Metrics.max_wait
+        (100. *. m.Moldable_analysis.Metrics.average_utilization))
+    [
+      ( "Algorithm 1",
+        fun ~p ->
+          Online_scheduler.policy ~allocator:Allocator.algorithm2_per_model ~p
+            () );
+      ( "Ye canonical",
+        fun ~p -> Moldable_indep.Ye.policy ~p );
+      ("min-time list", fun ~p -> Baselines.min_time_list ~p);
+      ("sequential list", fun ~p -> Baselines.sequential_list ~p);
+    ];
+  Printf.printf
+    "\nAlgorithm 1's allocation cap keeps jobs narrow enough to start \
+     promptly\nwhile still exploiting parallelism — exactly the utilization \
+     argument\nbehind the paper's Lemmas 3 and 4.\n"

@@ -1,0 +1,71 @@
+(* Ablation sweep over the design choices of Algorithm 1/2 on realistic
+   workflows: the allocation cap of Step 2, the choice of mu, and the queue
+   priority rule — measured on Montage-like and Epigenomics-like synthetic
+   workflows under each speedup model.
+
+   Run with: dune exec examples/workflow_ablation.exe *)
+
+open Moldable_model
+open Moldable_util
+open Moldable_core
+open Moldable_analysis
+
+let workflows rng kind =
+  [
+    ( "montage-16",
+      Moldable_workloads.Scientific.montage ~rng ~width:16 ~kind () );
+    ( "epigenomics-4x8",
+      Moldable_workloads.Scientific.epigenomics ~rng ~lanes:4 ~fanout:8 ~kind
+        () );
+  ]
+
+let ablations kind =
+  let mu = Mu.default kind in
+  [
+    Experiment.algorithm1_fixed_mu mu;
+    {
+      Experiment.label = "no Step-2 cap";
+      make =
+        (fun ~p ->
+          Online_scheduler.policy ~allocator:(Allocator.no_cap ~mu) ~p ());
+    };
+    {
+      Experiment.label = "conservative mu (roofline's)";
+      make =
+        (fun ~p ->
+          Online_scheduler.policy
+            ~allocator:(Allocator.algorithm2 ~mu:Mu.mu_max) ~p ());
+    };
+    {
+      Experiment.label = "longest-first priority";
+      make =
+        (fun ~p ->
+          Online_scheduler.policy ~priority:Priority.longest_first
+            ~allocator:(Allocator.algorithm2 ~mu) ~p ());
+    };
+    {
+      Experiment.label = "narrowest-first priority";
+      make =
+        (fun ~p ->
+          Online_scheduler.policy ~priority:Priority.narrowest_first
+            ~allocator:(Allocator.algorithm2 ~mu) ~p ());
+    };
+  ]
+
+let () =
+  let p = 48 in
+  List.iter
+    (fun kind ->
+      let rng = Rng.create 7_777 in
+      Printf.printf "=== speedup model: %s ===\n" (Speedup.kind_name kind);
+      let outcomes =
+        List.concat_map
+          (fun (name, dag) ->
+            Experiment.evaluate ~p ~workload:name ~policies:(ablations kind)
+              [ dag ])
+          (workflows rng kind)
+      in
+      print_string (Report.table outcomes);
+      print_newline ())
+    [ Speedup.Kind_roofline; Speedup.Kind_communication; Speedup.Kind_amdahl;
+      Speedup.Kind_general ]

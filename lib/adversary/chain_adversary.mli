@@ -1,0 +1,50 @@
+(** The adaptive adversary of Lemma 10 and the schedules of Figure 4.
+
+    All tasks of the {!Chains} instance are identical, so a deterministic
+    online algorithm cannot distinguish chains; the adversary retroactively
+    decides which chains are short: whenever a chain completes its [i]-th
+    task, it is terminated there if group [i]'s quota ([2^(K-i)] chains) is
+    not yet exhausted.  Killing the earliest finishers first realizes the
+    worst case of the proof.
+
+    Three executions are modelled:
+
+    - {!offline_schedule} — Figure 4(a): group [i] chains get [2^(i-1)]
+      processors each and every chain finishes exactly at time 1;
+    - {!equal_split} / {!equal_split_schedule} — Figure 4(b): the
+      barrier-synchronized strategy that splits [P] evenly among alive
+      chains each round; for [l = 2] its breakpoints are
+      [t1 = 1/2, t2 = 5/6, t3 ~ 1.07, t4 ~ 1.23];
+    - {!list_scheduling} — what a list scheduler with a fixed per-task
+      allocation (e.g. Algorithm 2's choice) does against the greedy
+      adversary. *)
+
+open Moldable_sim
+
+type outcome = {
+  breakpoints : float array;
+      (** [breakpoints.(i-1)] = completion time of group [i] ([t_i] in the
+          paper), length [K]. *)
+  makespan : float;  (** [= breakpoints.(K-1)]. *)
+}
+
+val equal_split : ell:int -> outcome
+(** Closed-form round simulation: round [i] lasts
+    [t(floor(P / m_i))] with [m_i = 2^(K-i+1) - 1] alive chains.  Works for
+    any [ell >= 1] (no DAG is materialized). *)
+
+val equal_split_schedule : Chains.t -> Schedule.t
+(** A complete, feasible schedule realizing {!equal_split} on the
+    materialized instance (validated by the caller's tests). *)
+
+val offline_schedule : Chains.t -> Schedule.t
+(** Figure 4(a): makespan exactly 1. *)
+
+val algorithm2_alloc : mu:float -> p:int -> int
+(** The allocation Algorithm 2 chooses for the identical task
+    [t(p) = 1/(lg p + 1)] on [p] processors. *)
+
+val list_scheduling : alloc:int -> ell:int -> outcome
+(** Event-driven simulation of FIFO list scheduling with the fixed
+    allocation [alloc] per task, against the greedy adversary.  Requires
+    [1 <= alloc <= P]. Works for [ell <= 4]. *)

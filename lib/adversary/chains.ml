@@ -1,0 +1,50 @@
+open Moldable_model
+open Moldable_graph
+
+type t = {
+  ell : int;
+  k : int;
+  p : int;
+  dag : Dag.t;
+  chains : int array array;
+  group : int array;
+}
+
+let speedup =
+  Speedup.Arbitrary
+    { name = "1/(lg p + 1)"; time = Moldable_theory.Arbitrary_lb.exec_time }
+
+let build ~ell =
+  if ell < 1 || ell > 4 then
+    invalid_arg "Chains.build: ell must be in [1, 4]";
+  let params = Moldable_theory.Arbitrary_lb.params ~ell in
+  let k = params.Moldable_theory.Arbitrary_lb.k in
+  let tasks = ref [] and edges = ref [] in
+  let chains = ref [] and group = ref [] in
+  let next_id = ref 0 and next_chain = ref 0 in
+  for i = 1 to k do
+    for _c = 1 to 1 lsl (k - i) do
+      let ids = Array.init i (fun pos -> !next_id + pos) in
+      Array.iteri
+        (fun pos id ->
+          tasks :=
+            Task.make ~label:(Printf.sprintf "c%d.%d" !next_chain pos)
+              ~id speedup
+            :: !tasks;
+          if pos > 0 then edges := (ids.(pos - 1), id) :: !edges)
+        ids;
+      next_id := !next_id + i;
+      incr next_chain;
+      chains := ids :: !chains;
+      group := i :: !group
+    done
+  done;
+  let dag = Dag.create ~tasks:(List.rev !tasks) ~edges:!edges in
+  {
+    ell;
+    k;
+    p = params.Moldable_theory.Arbitrary_lb.p;
+    dag;
+    chains = Array.of_list (List.rev !chains);
+    group = Array.of_list (List.rev !group);
+  }

@@ -1,0 +1,25 @@
+(** The independent-chain instance of Theorem 9 (Figure 3).
+
+    For [l >= 1] and [K = 2^l]: for each group [i] in [1..K] there are
+    [2^(K-i)] linear chains of exactly [i] tasks.  All tasks are identical
+    with arbitrary speedup [t(p) = 1/(lg p + 1)] and the platform has
+    [P = K 2^(K-1)] processors.  For [l = 2] this is exactly the 15-chain,
+    26-task, 32-processor instance drawn in Figure 3. *)
+
+open Moldable_graph
+
+type t = {
+  ell : int;
+  k : int;                 (** [K = 2^l]. *)
+  p : int;                 (** [K * 2^(K-1)]. *)
+  dag : Dag.t;
+  chains : int array array;(** [chains.(c)] = task ids of chain [c], in
+                               order; chains sorted by group then id. *)
+  group : int array;       (** [group.(c)] = the chain's group = its length. *)
+}
+
+val build : ell:int -> t
+(** Materializes the DAG. Practical for [ell <= 3] ([K = 8] gives 255 chains
+    and 502 tasks); [ell = 4] ([K = 16]) gives 65535 chains, 131054 tasks and
+    524288 processors — still simulable.
+    @raise Invalid_argument for [ell < 1] or [ell > 4]. *)

@@ -1,0 +1,37 @@
+open Moldable_model
+open Moldable_graph
+
+type roles = { a_ids : int array; b_ids : int array array; c_id : int }
+
+let build ~x ~y ~a ~b ~c =
+  if x < 1 || y < 1 then invalid_arg "Generic_graph.build: need x,y >= 1";
+  let b_id i j = ((i - 1) * (x + 1)) + (j - 1) in
+  let a_id i = ((i - 1) * (x + 1)) + x in
+  let c_id = y * (x + 1) in
+  let tasks = ref [] in
+  for i = y downto 1 do
+    tasks :=
+      Task.make ~label:(Printf.sprintf "A%d" i) ~id:(a_id i) a :: !tasks;
+    for j = x downto 1 do
+      tasks :=
+        Task.make ~label:(Printf.sprintf "B%d,%d" i j) ~id:(b_id i j) b
+        :: !tasks
+    done
+  done;
+  let tasks = !tasks @ [ Task.make ~label:"C" ~id:c_id c ] in
+  let edges = ref [ (a_id y, c_id) ] in
+  for i = 1 to y - 1 do
+    edges := (a_id i, a_id (i + 1)) :: !edges;
+    for j = 1 to x do
+      edges := (a_id i, b_id (i + 1) j) :: !edges
+    done
+  done;
+  let dag = Dag.create ~tasks ~edges:!edges in
+  let roles =
+    {
+      a_ids = Array.init y (fun i -> a_id (i + 1));
+      b_ids = Array.init y (fun i -> Array.init x (fun j -> b_id (i + 1) (j + 1)));
+      c_id;
+    }
+  in
+  (dag, roles)

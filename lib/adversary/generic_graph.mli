@@ -1,0 +1,26 @@
+(** The generic adversarial task graph of Figure 1.
+
+    [(X+1) Y + 1] tasks in three groups: [Y] chain tasks [A_1 .. A_Y], [X*Y]
+    layer tasks [B_{i,j}], and one final task [C].  [A_i] precedes [A_{i+1}]
+    and every [B_{i+1,j}]; [A_Y] precedes [C].  Layer 1 ([A_1], [B_{1,j}])
+    has no predecessors.
+
+    Within each layer the [B] tasks receive {e smaller} ids than the [A]
+    task, so a FIFO list scheduler starts the [B] tasks first — the
+    worst-case priority the lower-bound proofs assume ("the algorithm always
+    prioritizes tasks from T_B first"). *)
+
+open Moldable_model
+open Moldable_graph
+
+type roles = {
+  a_ids : int array;        (** [a_ids.(i-1)] is task [A_i], length [Y]. *)
+  b_ids : int array array;  (** [b_ids.(i-1).(j-1)] is [B_{i,j}]. *)
+  c_id : int;
+}
+
+val build :
+  x:int -> y:int -> a:Speedup.t -> b:Speedup.t -> c:Speedup.t ->
+  Dag.t * roles
+(** All [A] tasks share the speedup [a], all [B] tasks share [b].
+    Requires [x >= 1] and [y >= 1]. *)

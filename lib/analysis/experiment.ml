@@ -1,0 +1,60 @@
+open Moldable_graph
+open Moldable_sim
+open Moldable_util
+open Moldable_core
+
+type policy_spec = { label : string; make : p:int -> Engine.policy }
+
+type outcome = {
+  workload : string;
+  policy : string;
+  p : int;
+  ratios : float list;
+  makespans : float list;
+  summary : Stats.summary;
+}
+
+let algorithm1 =
+  {
+    label = "Algorithm 1";
+    make =
+      (fun ~p ->
+        Online_scheduler.policy ~allocator:Allocator.algorithm2_per_model ~p ());
+  }
+
+let algorithm1_fixed_mu mu =
+  {
+    label = Printf.sprintf "Algorithm 1 (mu=%.3f)" mu;
+    make =
+      (fun ~p ->
+        Online_scheduler.policy ~allocator:(Allocator.algorithm2 ~mu) ~p ());
+  }
+
+let default_policies =
+  algorithm1
+  :: List.map
+       (fun (label, make) -> { label; make = (fun ~p -> make ~p) })
+       Baselines.named
+
+let run_one ?(validate = true) ~p spec dag =
+  let result = Engine.run ~p (spec.make ~p) dag in
+  if validate then Validate.check_exn ~dag result.Engine.schedule;
+  let lb = (Bounds.compute ~p dag).Bounds.lower_bound in
+  let makespan = Schedule.makespan result.Engine.schedule in
+  (makespan, makespan /. lb)
+
+let evaluate ?(validate = true) ~p ~workload ~policies dags =
+  List.map
+    (fun spec ->
+      let pairs = List.map (run_one ~validate ~p spec) dags in
+      let makespans = List.map fst pairs in
+      let ratios = List.map snd pairs in
+      {
+        workload;
+        policy = spec.label;
+        p;
+        ratios;
+        makespans;
+        summary = Stats.summarize ratios;
+      })
+    policies

@@ -1,0 +1,39 @@
+(** Batch experiment harness: run a set of scheduling policies over a set of
+    task graphs, validate every produced schedule, and report the
+    distribution of the normalized makespan [T / LB] where [LB] is the
+    Lemma 2 lower bound on the optimal makespan.  Because [LB <= T_opt],
+    the reported ratios over-estimate the true [T / T_opt]; the proven
+    competitive ratios bound them too. *)
+
+open Moldable_graph
+open Moldable_sim
+open Moldable_util
+
+type policy_spec = { label : string; make : p:int -> Engine.policy }
+
+type outcome = {
+  workload : string;
+  policy : string;
+  p : int;
+  ratios : float list;       (** One per instance, [T / LB]. *)
+  makespans : float list;
+  summary : Stats.summary;   (** Of [ratios]. *)
+}
+
+val algorithm1 : policy_spec
+(** The paper's algorithm with per-model [mu] and FIFO queue. *)
+
+val algorithm1_fixed_mu : float -> policy_spec
+
+val default_policies : policy_spec list
+(** Algorithm 1 plus the {!Moldable_core.Baselines}. *)
+
+val evaluate :
+  ?validate:bool -> p:int -> workload:string -> policies:policy_spec list ->
+  Dag.t list -> outcome list
+(** Runs every policy over every graph.  With [validate] (default true)
+    every schedule is checked by {!Moldable_sim.Validate} and a failure
+    raises. *)
+
+val run_one : ?validate:bool -> p:int -> policy_spec -> Dag.t -> float * float
+(** [(makespan, ratio)] for one instance. *)

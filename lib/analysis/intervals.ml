@@ -1,0 +1,36 @@
+open Moldable_sim
+
+type summary = {
+  mu : float;
+  t1 : float;
+  t2 : float;
+  t3 : float;
+  idle : float;
+  makespan : float;
+}
+
+let classify ~mu sched =
+  let p = Schedule.p sched in
+  let lo = Moldable_core.Mu.cap ~mu ~p in
+  let hi = int_of_float (ceil ((1. -. mu) *. float_of_int p)) in
+  let t1 = ref 0. and t2 = ref 0. and t3 = ref 0. and idle = ref 0. in
+  List.iter
+    (fun (t0, t1', busy) ->
+      let d = t1' -. t0 in
+      if busy = 0 then idle := !idle +. d
+      else if busy < lo then t1 := !t1 +. d
+      else if busy < hi then t2 := !t2 +. d
+      else t3 := !t3 +. d)
+    (Schedule.utilization_steps sched);
+  {
+    mu;
+    t1 = !t1;
+    t2 = !t2;
+    t3 = !t3;
+    idle = !idle;
+    makespan = Schedule.makespan sched;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf "mu=%.4f T1=%.4f T2=%.4f T3=%.4f idle=%.4f T=%.4f" s.mu
+    s.t1 s.t2 s.t3 s.idle s.makespan

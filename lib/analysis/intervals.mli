@@ -1,0 +1,28 @@
+(** Interval classification of the proof framework (Section 4.2).
+
+    A schedule decomposes into maximal intervals of constant processor
+    utilization [p(I)], classified as
+
+    - [I1]: [0 < p(I) < ceil(mu P)],
+    - [I2]: [ceil(mu P) <= p(I) < ceil((1-mu) P)],
+    - [I3]: [ceil((1-mu) P) <= p(I) <= P],
+
+    with total durations [T1], [T2], [T3] and [T = T1 + T2 + T3] (plus any
+    fully idle time, which list scheduling never produces before the last
+    completion). *)
+
+open Moldable_sim
+
+type summary = {
+  mu : float;
+  t1 : float;
+  t2 : float;
+  t3 : float;
+  idle : float;    (** Duration with zero busy processors. *)
+  makespan : float;
+}
+
+val classify : mu:float -> Schedule.t -> summary
+(** Requires [0 < mu <= (3 - sqrt 5)/2]. *)
+
+val pp : Format.formatter -> summary -> unit

@@ -1,0 +1,63 @@
+open Moldable_sim
+
+type task_metrics = {
+  task_id : int;
+  ready : float;
+  start : float;
+  finish : float;
+  wait : float;
+  response : float;
+}
+
+type t = {
+  per_task : task_metrics array;
+  makespan : float;
+  mean_wait : float;
+  max_wait : float;
+  mean_response : float;
+  average_utilization : float;
+}
+
+let of_result (result : Engine.result) =
+  let sched = result.Engine.schedule in
+  let n = Schedule.n sched in
+  let ready = Array.make n nan in
+  List.iter
+    (fun (time, ev) ->
+      match ev with
+      | Engine.Ready i -> if Float.is_nan ready.(i) then ready.(i) <- time
+      | Engine.Start _ | Engine.Finish _ -> ())
+    result.Engine.trace;
+  let per_task =
+    Array.init n (fun i ->
+        if Float.is_nan ready.(i) then
+          invalid_arg
+            (Printf.sprintf "Metrics.of_result: no Ready event for task %d" i);
+        let pl = Schedule.placement sched i in
+        {
+          task_id = i;
+          ready = ready.(i);
+          start = pl.Schedule.start;
+          finish = pl.Schedule.finish;
+          wait = pl.Schedule.start -. ready.(i);
+          response = pl.Schedule.finish -. ready.(i);
+        })
+  in
+  let fold f init = Array.fold_left f init per_task in
+  let total_wait = fold (fun acc m -> acc +. m.wait) 0. in
+  let total_response = fold (fun acc m -> acc +. m.response) 0. in
+  let fn = float_of_int (max 1 n) in
+  {
+    per_task;
+    makespan = Schedule.makespan sched;
+    mean_wait = total_wait /. fn;
+    max_wait = fold (fun acc m -> Float.max acc m.wait) 0.;
+    mean_response = total_response /. fn;
+    average_utilization = Schedule.average_utilization sched;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "makespan=%.4f mean_wait=%.4f max_wait=%.4f mean_response=%.4f util=%.1f%%"
+    t.makespan t.mean_wait t.max_wait t.mean_response
+    (100. *. t.average_utilization)

@@ -1,0 +1,29 @@
+(** Per-task scheduling metrics extracted from an engine run: how long tasks
+    waited in the queue and how responsive the schedule was — secondary
+    quality measures the makespan objective does not capture. *)
+
+open Moldable_sim
+
+type task_metrics = {
+  task_id : int;
+  ready : float;    (** When the task became available. *)
+  start : float;
+  finish : float;
+  wait : float;     (** [start - ready]. *)
+  response : float; (** [finish - ready]. *)
+}
+
+type t = {
+  per_task : task_metrics array; (** Indexed by task id. *)
+  makespan : float;
+  mean_wait : float;
+  max_wait : float;
+  mean_response : float;
+  average_utilization : float;
+}
+
+val of_result : Engine.result -> t
+(** Combines the trace (ready times) with the schedule (placements).
+    @raise Invalid_argument if the trace lacks a Ready event for a task. *)
+
+val pp : Format.formatter -> t -> unit

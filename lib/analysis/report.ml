@@ -1,0 +1,34 @@
+open Moldable_util
+
+let table ?bound outcomes =
+  let headers =
+    [ "workload"; "policy"; "P"; "n"; "mean T/LB"; "p95"; "max" ]
+    @ (match bound with Some _ -> [ "<= bound?" ] | None -> [])
+  in
+  let tab = Texttab.create ~headers in
+  Texttab.set_aligns tab
+    ([ Texttab.Left; Texttab.Left; Texttab.Right; Texttab.Right;
+       Texttab.Right; Texttab.Right; Texttab.Right ]
+    @ (match bound with Some _ -> [ Texttab.Center ] | None -> []));
+  List.iter
+    (fun (o : Experiment.outcome) ->
+      let s = o.Experiment.summary in
+      let base =
+        [
+          o.Experiment.workload;
+          o.Experiment.policy;
+          string_of_int o.Experiment.p;
+          string_of_int s.Stats.n;
+          Printf.sprintf "%.3f" s.Stats.mean;
+          Printf.sprintf "%.3f" s.Stats.p95;
+          Printf.sprintf "%.3f" s.Stats.max;
+        ]
+      in
+      let extra =
+        match bound with
+        | Some b -> [ (if s.Stats.max <= b +. 1e-9 then "yes" else "NO") ]
+        | None -> []
+      in
+      Texttab.add_row tab (base @ extra))
+    outcomes;
+  Texttab.render tab

@@ -1,0 +1,6 @@
+(** Tabular rendering of experiment outcomes. *)
+
+val table : ?bound:float -> Experiment.outcome list -> string
+(** One row per outcome: workload, policy, P, mean/max ratio and summary.
+    When [bound] is given (a proven competitive ratio), a final column marks
+    whether the worst measured ratio respects it. *)

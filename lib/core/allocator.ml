@@ -1,0 +1,81 @@
+open Moldable_model
+
+type t = { name : string; allocate : p:int -> Task.t -> int }
+
+(* Smallest q in [1, p_max] with t(q) <= bound, assuming t non-increasing
+   there (Lemma 1). *)
+let smallest_feasible (a : Task.analyzed) bound =
+  let feasible q = Moldable_util.Fcmp.leq (Task.time a.Task.task q) bound in
+  let lo = ref 1 and hi = ref a.Task.p_max in
+  if feasible 1 then 1
+  else begin
+    (* Invariant: not (feasible lo) && feasible hi. *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if feasible mid then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+(* Exhaustive Step 1 for arbitrary speedups: minimize area among feasible
+   allocations, ties to the smallest allocation. *)
+let scan_feasible (a : Task.analyzed) bound =
+  let best = ref None in
+  for q = 1 to a.Task.p_max do
+    if Moldable_util.Fcmp.leq (Task.time a.Task.task q) bound then begin
+      let area = Task.area a.Task.task q in
+      match !best with
+      | Some (_, best_area) when best_area <= area -> ()
+      | _ -> best := Some (q, area)
+    end
+  done;
+  match !best with
+  | Some (q, _) -> q
+  | None -> a.Task.p_max (* beta(p_max) = 1 <= delta, so unreachable *)
+
+let initial ~mu ~p task =
+  let a = Task.analyze ~p task in
+  let bound = Mu.delta mu *. a.Task.t_min in
+  match Speedup.kind task.Task.speedup with
+  | Speedup.Kind_arbitrary -> scan_feasible a bound
+  | Speedup.Kind_roofline | Speedup.Kind_communication | Speedup.Kind_amdahl
+  | Speedup.Kind_general | Speedup.Kind_power ->
+    smallest_feasible a bound
+
+let apply_cap ~mu ~p q = min q (Mu.cap ~mu ~p)
+
+let algorithm2 ~mu =
+  {
+    name = Printf.sprintf "algorithm2(mu=%.4f)" mu;
+    allocate = (fun ~p task -> apply_cap ~mu ~p (initial ~mu ~p task));
+  }
+
+let algorithm2_per_model =
+  {
+    name = "algorithm2(per-model mu)";
+    allocate =
+      (fun ~p task ->
+        let mu = Mu.default (Speedup.kind task.Task.speedup) in
+        apply_cap ~mu ~p (initial ~mu ~p task));
+  }
+
+let no_cap ~mu =
+  {
+    name = Printf.sprintf "no-cap(mu=%.4f)" mu;
+    allocate = (fun ~p task -> initial ~mu ~p task);
+  }
+
+let min_time =
+  {
+    name = "min-time";
+    allocate = (fun ~p task -> (Task.analyze ~p task).Task.p_max);
+  }
+
+let sequential = { name = "sequential"; allocate = (fun ~p:_ _ -> 1) }
+let all_p = { name = "all-p"; allocate = (fun ~p _ -> p) }
+
+let fixed q =
+  {
+    name = Printf.sprintf "fixed(%d)" q;
+    allocate = (fun ~p _ -> max 1 (min q p));
+  }

@@ -1,0 +1,53 @@
+(** Processor-allocation strategies.
+
+    The paper's Algorithm 2 works in two steps.  {e Step 1} (initial
+    allocation, inspired by the Local Processor Allocation of Benoit et al.):
+    among allocations [q] in [\[1, p_max\]], minimize the area ratio
+    [alpha_q = a(q)/a_min] subject to the execution-time constraint
+    [beta_q = t(q)/t_min <= delta(mu)].  Because [alpha] is non-decreasing
+    and [beta] non-increasing on that range (Lemma 1), the optimum is the
+    {e smallest} feasible [q], found here by binary search; for [Arbitrary]
+    speedups, where monotonicity is not guaranteed, an exhaustive scan is
+    used.  {e Step 2} (adjustment): cap the allocation at [ceil(mu P)]
+    (Equation (7)), which keeps enough processors free that some task can
+    always start when utilization is low — the key to the interval analysis
+    of Lemmas 3–5.
+
+    An allocator here is a {e static} rule [task -> allocation] for a given
+    platform size; dynamic rules (allocations depending on the current free
+    count, such as ECT) live in {!Baselines}. *)
+
+open Moldable_model
+
+type t = {
+  name : string;
+  allocate : p:int -> Task.t -> int;  (** Final allocation, in [\[1, P\]]. *)
+}
+
+val initial : mu:float -> p:int -> Task.t -> int
+(** Step 1 of Algorithm 2 only. *)
+
+val algorithm2 : mu:float -> t
+(** The paper's allocator with a fixed [mu]. *)
+
+val algorithm2_per_model : t
+(** The paper's allocator using {!Mu.default} of each task's model family —
+    what the theorems assume when a graph mixes a single known family. *)
+
+(** {1 Ablations and trivial rules} *)
+
+val no_cap : mu:float -> t
+(** Step 1 without the Step 2 cap — ablates the Lepère–Trystram–Woeginger
+    adjustment. *)
+
+val min_time : t
+(** Always [p_max]: greedy minimal execution time, maximal area. *)
+
+val sequential : t
+(** Always one processor: minimal area, maximal execution time. *)
+
+val all_p : t
+(** Always all [P] processors (forces purely sequential task execution). *)
+
+val fixed : int -> t
+(** Constant allocation, clamped to [\[1, P\]]. *)

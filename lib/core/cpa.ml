@@ -1,0 +1,52 @@
+open Moldable_model
+open Moldable_graph
+
+let allotment ~p dag =
+  let n = Dag.n dag in
+  let analyzed = Array.map (Task.analyze ~p) (Dag.tasks dag) in
+  let alloc = Array.make n 1 in
+  let time i = Task.time (Dag.task dag i) alloc.(i) in
+  let area_total () =
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc := !acc +. Task.area (Dag.task dag i) alloc.(i)
+    done;
+    !acc
+  in
+  let continue = ref (n > 0) in
+  while !continue do
+    let weight i = time i in
+    let path, cp = Paths.longest_path ~weight dag in
+    let avg_area = area_total () /. float_of_int p in
+    if cp <= avg_area || path = [] then continue := false
+    else begin
+      (* Most beneficial critical-path task: largest drop in t(q)/q when
+         granted one more processor (the classic CPA criterion). *)
+      let gain i =
+        if alloc.(i) >= analyzed.(i).Task.p_max then neg_infinity
+        else
+          (time i /. float_of_int alloc.(i))
+          -. (Task.time (Dag.task dag i) (alloc.(i) + 1)
+             /. float_of_int (alloc.(i) + 1))
+      in
+      let best =
+        List.fold_left
+          (fun acc i ->
+            match acc with
+            | None -> if gain i > neg_infinity then Some i else None
+            | Some j -> if gain i > gain j then Some i else acc)
+          None path
+      in
+      match best with
+      | None -> continue := false (* every critical task is saturated *)
+      | Some i -> alloc.(i) <- alloc.(i) + 1
+    end
+  done;
+  alloc
+
+let schedule ~p dag =
+  let allocations = allotment ~p dag in
+  let bounds = Bounds.compute ~p dag in
+  let weight i = bounds.Bounds.analyzed.(i).Task.t_min in
+  let priority = Paths.bottom_level ~weight dag in
+  Offline.list_with ~allocations ~priority ~p dag

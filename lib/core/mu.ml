@@ -1,0 +1,28 @@
+open Moldable_model
+
+let mu_max = (3. -. sqrt 5.) /. 2.
+
+let delta mu =
+  if mu <= 0. || mu > mu_max +. 1e-12 then
+    invalid_arg
+      (Printf.sprintf "Mu.delta: mu=%g outside (0, (3-sqrt 5)/2]" mu);
+  (1. -. (2. *. mu)) /. (mu *. (1. -. mu))
+
+(* Numerical optima of the competitive ratio for each family (Theorems 1-4).
+   The theory library recomputes them from scratch; tests check agreement. *)
+let mu_roofline = mu_max
+let mu_communication = 0.3239
+let mu_amdahl = 0.2710
+let mu_general = 0.2113
+
+let default = function
+  | Speedup.Kind_roofline -> mu_roofline
+  | Speedup.Kind_communication -> mu_communication
+  | Speedup.Kind_amdahl -> mu_amdahl
+  | Speedup.Kind_general -> mu_general
+  | Speedup.Kind_power -> mu_general (* no guarantee; general's mu as default *)
+  | Speedup.Kind_arbitrary -> mu_general
+
+let cap ~mu ~p =
+  if p < 1 then invalid_arg "Mu.cap: p must be >= 1";
+  max 1 (int_of_float (ceil (mu *. float_of_int p)))

@@ -1,0 +1,28 @@
+(** The utilization parameter [mu] of Algorithm 2 and its derived constant
+
+    {[ delta(mu) = (1 - 2 mu) / (mu (1 - mu)) ]}
+
+    which bounds the execution-time ratio [beta] allowed by the initial
+    allocation.  Since [beta >= 1], [mu] must satisfy [delta(mu) >= 1], i.e.
+    [mu <= (3 - sqrt 5) / 2 ~= 0.382] (Section 4.2).
+
+    The per-model defaults are the optimal values from Theorems 1–4:
+    roofline [0.3820], communication [0.3239], Amdahl [0.2710], general
+    [0.2113] (the general value is also used for arbitrary speedups, where no
+    guarantee exists). *)
+
+open Moldable_model
+
+val mu_max : float
+(** [(3 - sqrt 5) / 2]. *)
+
+val delta : float -> float
+(** [delta mu]; requires [0 < mu <= mu_max].
+    @raise Invalid_argument outside that range. *)
+
+val default : Speedup.kind -> float
+(** Optimal [mu] for each model family (Theorems 1–4). *)
+
+val cap : mu:float -> p:int -> int
+(** [ceil (mu * P)], the allocation cap of Step 2 of Algorithm 2 — always at
+    least 1. *)

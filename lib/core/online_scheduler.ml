@@ -1,0 +1,60 @@
+open Moldable_model
+open Moldable_sim
+
+let policy ?(priority = Priority.fifo) ~allocator ~p () =
+  (* The queue is a sorted list in priority order; insertion keeps order and
+     FIFO degenerates to plain append thanks to the seq tie-break. *)
+  let queue : Priority.item list ref = ref [] in
+  let next_seq = ref 0 in
+  let insert item =
+    let rec go = function
+      | [] -> [ item ]
+      | x :: rest ->
+        if priority.Priority.compare item x < 0 then item :: x :: rest
+        else x :: go rest
+    in
+    queue := go !queue
+  in
+  let on_ready ~now:_ task =
+    let a = Task.analyze ~p task in
+    let alloc = allocator.Allocator.allocate ~p task in
+    insert
+      {
+        Priority.task;
+        alloc;
+        t_min = a.Task.t_min;
+        seq =
+          (let s = !next_seq in
+           incr next_seq;
+           s);
+      }
+  in
+  let next_launch ~now:_ ~free =
+    (* List scheduling: first task in priority order that fits. *)
+    let rec extract acc = function
+      | [] -> None
+      | (x : Priority.item) :: rest ->
+        if x.Priority.alloc <= free then begin
+          queue := List.rev_append acc rest;
+          Some (x.Priority.task.Task.id, x.Priority.alloc)
+        end
+        else extract (x :: acc) rest
+    in
+    extract [] !queue
+  in
+  {
+    Engine.name =
+      Printf.sprintf "online[%s, %s]" allocator.Allocator.name
+        priority.Priority.name;
+    on_ready;
+    next_launch;
+  }
+
+let run ?priority ?(allocator = Allocator.algorithm2_per_model) ~p dag =
+  Engine.run ~p (policy ?priority ~allocator ~p ()) dag
+
+let makespan ?priority ?allocator ~p dag =
+  Schedule.makespan (run ?priority ?allocator ~p dag).Engine.schedule
+
+let allocation_of ?(allocator = Allocator.algorithm2_per_model) ~p task =
+  allocator.Allocator.allocate ~p task

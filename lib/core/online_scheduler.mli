@@ -1,0 +1,33 @@
+(** Algorithm 1 of the paper: online list scheduling of moldable tasks.
+
+    A waiting queue holds available tasks.  Whenever a task is revealed, its
+    processor allocation is fixed by the {!Allocator} (Algorithm 2) and the
+    task is queued.  At time 0 and upon every completion, the queue is
+    scanned in priority order and every task whose allocation fits in the
+    currently free processors is started immediately.
+
+    The policy produced here is driven by {!Moldable_sim.Engine.run}; it
+    never inspects the task graph, only the tasks revealed to it. *)
+
+open Moldable_model
+open Moldable_graph
+open Moldable_sim
+
+val policy :
+  ?priority:Priority.t -> allocator:Allocator.t -> p:int -> unit ->
+  Engine.policy
+(** Fresh, stateful policy for one run.  Default priority is {!Priority.fifo}
+    (the paper's algorithm). *)
+
+val run :
+  ?priority:Priority.t -> ?allocator:Allocator.t -> p:int -> Dag.t ->
+  Engine.result
+(** One-shot: build the policy (allocator defaults to
+    {!Allocator.algorithm2_per_model}) and simulate it. *)
+
+val makespan :
+  ?priority:Priority.t -> ?allocator:Allocator.t -> p:int -> Dag.t -> float
+
+val allocation_of : ?allocator:Allocator.t -> p:int -> Task.t -> int
+(** The (deterministic) final allocation the scheduler would choose — used by
+    the analysis library to reconstruct initial/final allocations. *)

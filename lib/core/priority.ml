@@ -1,0 +1,41 @@
+open Moldable_model
+
+type item = { task : Task.t; alloc : int; t_min : float; seq : int }
+
+type t = { name : string; compare : item -> item -> int }
+
+let by_seq a b = compare a.seq b.seq
+
+let with_tiebreak key a b =
+  match key a b with 0 -> by_seq a b | c -> c
+
+let fifo = { name = "fifo"; compare = by_seq }
+
+let longest_first =
+  {
+    name = "longest-first";
+    compare = with_tiebreak (fun a b -> compare b.t_min a.t_min);
+  }
+
+let area i = Task.area i.task i.alloc
+
+let largest_area_first =
+  {
+    name = "largest-area-first";
+    compare = with_tiebreak (fun a b -> compare (area b) (area a));
+  }
+
+let widest_first =
+  {
+    name = "widest-first";
+    compare = with_tiebreak (fun a b -> compare b.alloc a.alloc);
+  }
+
+let narrowest_first =
+  {
+    name = "narrowest-first";
+    compare = with_tiebreak (fun a b -> compare a.alloc b.alloc);
+  }
+
+let all = [ fifo; longest_first; largest_area_first; widest_first;
+            narrowest_first ]

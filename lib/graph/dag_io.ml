@@ -1,0 +1,132 @@
+open Moldable_model
+
+let sanitize_label s =
+  String.map (fun c -> if c = ' ' || c = '\t' then '_' else c) s
+
+let speedup_to_line = function
+  | Speedup.Roofline { w; ptilde } ->
+    Ok (Printf.sprintf "roofline %.17g %d" w ptilde)
+  | Speedup.Communication { w; c } -> Ok (Printf.sprintf "comm %.17g %.17g" w c)
+  | Speedup.Amdahl { w; d } -> Ok (Printf.sprintf "amdahl %.17g %.17g" w d)
+  | Speedup.General { w; ptilde; d; c } ->
+    Ok (Printf.sprintf "general %.17g %d %.17g %.17g" w ptilde d c)
+  | Speedup.Power { w; alpha } ->
+    Ok (Printf.sprintf "power %.17g %.17g" w alpha)
+  | Speedup.Arbitrary { name; _ } ->
+    Error (Printf.sprintf "arbitrary speedup %S cannot be serialized" name)
+
+let to_string dag =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# moldable task graph v1\n";
+  let rec tasks i =
+    if i >= Dag.n dag then Ok ()
+    else begin
+      let t = Dag.task dag i in
+      match speedup_to_line t.Task.speedup with
+      | Error _ as e -> e
+      | Ok model ->
+        Buffer.add_string buf
+          (Printf.sprintf "task %d %s %s\n" i
+             (sanitize_label t.Task.label)
+             model);
+        tasks (i + 1)
+    end
+  in
+  match tasks 0 with
+  | Error e -> Error e
+  | Ok () ->
+    List.iter
+      (fun (i, j) -> Buffer.add_string buf (Printf.sprintf "edge %d %d\n" i j))
+      (Dag.edges dag);
+    Ok (Buffer.contents buf)
+
+let parse_speedup lineno tokens =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let float_of s =
+    match float_of_string_opt s with
+    | Some f -> Ok f
+    | None -> fail "line %d: bad float %S" lineno s
+  in
+  let int_of s =
+    match int_of_string_opt s with
+    | Some i -> Ok i
+    | None -> fail "line %d: bad int %S" lineno s
+  in
+  let ( let* ) = Result.bind in
+  match tokens with
+  | [ "roofline"; w; ptilde ] ->
+    let* w = float_of w in
+    let* ptilde = int_of ptilde in
+    Ok (Speedup.Roofline { w; ptilde })
+  | [ "comm"; w; c ] ->
+    let* w = float_of w in
+    let* c = float_of c in
+    Ok (Speedup.Communication { w; c })
+  | [ "amdahl"; w; d ] ->
+    let* w = float_of w in
+    let* d = float_of d in
+    Ok (Speedup.Amdahl { w; d })
+  | [ "power"; w; alpha ] ->
+    let* w = float_of w in
+    let* alpha = float_of alpha in
+    Ok (Speedup.Power { w; alpha })
+  | [ "general"; w; ptilde; d; c ] ->
+    let* w = float_of w in
+    let* ptilde = int_of ptilde in
+    let* d = float_of d in
+    let* c = float_of c in
+    Ok (Speedup.General { w; ptilde; d; c })
+  | kind :: _ -> fail "line %d: unknown or malformed model %S" lineno kind
+  | [] -> fail "line %d: missing speedup model" lineno
+
+let of_string text =
+  let ( let* ) = Result.bind in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno tasks edges = function
+    | [] -> Ok (List.rev tasks, List.rev edges)
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go (lineno + 1) tasks edges rest
+      else begin
+        let tokens =
+          List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+        in
+        match tokens with
+        | "task" :: id :: label :: model -> (
+          match int_of_string_opt id with
+          | None -> Error (Printf.sprintf "line %d: bad task id %S" lineno id)
+          | Some id ->
+            let* speedup = parse_speedup lineno model in
+            let task =
+              try Ok (Task.make ~label ~id speedup)
+              with Invalid_argument msg ->
+                Error (Printf.sprintf "line %d: %s" lineno msg)
+            in
+            let* task = task in
+            go (lineno + 1) (task :: tasks) edges rest)
+        | [ "edge"; i; j ] -> (
+          match (int_of_string_opt i, int_of_string_opt j) with
+          | Some i, Some j -> go (lineno + 1) tasks ((i, j) :: edges) rest
+          | _ -> Error (Printf.sprintf "line %d: bad edge" lineno))
+        | tok :: _ ->
+          Error (Printf.sprintf "line %d: unknown declaration %S" lineno tok)
+        | [] -> go (lineno + 1) tasks edges rest
+      end
+  in
+  let* tasks, edges = go 1 [] [] lines in
+  try Ok (Dag.create ~tasks ~edges)
+  with Invalid_argument msg -> Error msg
+
+let to_file path dag =
+  match to_string dag with
+  | Error _ as e -> e
+  | Ok s ->
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc;
+    Ok ()
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,27 @@
+(** Plain-text serialization of task graphs.
+
+    Line-oriented format, one declaration per line:
+
+    {v
+    # comments and blank lines are ignored
+    task <id> <label> roofline <w> <ptilde>
+    task <id> <label> comm <w> <c>
+    task <id> <label> amdahl <w> <d>
+    task <id> <label> general <w> <ptilde> <d> <c>
+    edge <src> <dst>
+    v}
+
+    Labels are single tokens (whitespace in labels is replaced by ['_'] on
+    writing).  [Arbitrary] speedups have no finite description and cannot be
+    serialized. *)
+
+
+val to_string : Dag.t -> (string, string) result
+(** [Error] if the graph contains an [Arbitrary] speedup. *)
+
+val of_string : string -> (Dag.t, string) result
+(** Parses and validates (ids, edges, acyclicity); errors carry the
+    offending line number. *)
+
+val to_file : string -> Dag.t -> (unit, string) result
+val of_file : string -> (Dag.t, string) result

@@ -1,0 +1,22 @@
+(** Topological utilities on task graphs. *)
+
+val order : Dag.t -> int list
+(** A topological order (Kahn's algorithm, smallest id first among ready
+    nodes, so the order is deterministic). *)
+
+val depth : Dag.t -> int array
+(** [depth g] maps each task to the number of tasks on the longest chain of
+    predecessors ending at it ([0] for sources). *)
+
+val layers : Dag.t -> int list list
+(** Tasks grouped by {!depth}, shallowest first; each layer sorted by id. *)
+
+val height : Dag.t -> int
+(** Number of tasks on the longest path of the graph ([D] in Theorem 9);
+    [0] for the empty graph. *)
+
+val descendants : Dag.t -> int -> int list
+(** All tasks reachable from the given one (excluded), sorted. *)
+
+val ancestors : Dag.t -> int -> int list
+(** All tasks from which the given one is reachable (excluded), sorted. *)

@@ -1,0 +1,32 @@
+(** Turek, Wolf and Yu's dual-approximation scheme for {e offline}
+    scheduling of independent moldable tasks (SPAA'92), the classic
+    2-approximation the paper's Table 2 cites.
+
+    For a target makespan [tau], give each task the cheapest allocation that
+    finishes within [tau]; the target is {e feasible} when such allocations
+    exist and their total area fits, [A(tau) <= P tau].  The smallest
+    feasible [tau] (found by binary search over the O(nP) distinct execution
+    times) is a valid target ([tau_star]); the rigid jobs it induces have
+    [t_max <= tau_star] and [A <= P tau_star], so packing them with NFDH
+    shelves ([<= 2 A/P + t_max]) finishes within [3 tau_star].  This
+    implementation also runs plain list scheduling and keeps the better of
+    the two schedules, so the [3 tau_star] bound is a worst case that is
+    rarely reached (Turek et al. obtain ratio 2 with a more refined packing
+    backend). *)
+
+open Moldable_graph
+open Moldable_sim
+
+type t = {
+  tau_star : float;      (** Smallest feasible target. *)
+  allocations : int array;
+  schedule : Schedule.t; (** The better of NFDH shelves and list scheduling. *)
+  makespan : float;      (** Guaranteed [<= 3 * tau_star]. *)
+}
+
+val schedule : p:int -> Dag.t -> t
+(** @raise Invalid_argument if the graph has edges. *)
+
+val feasible : p:int -> tau:float -> Dag.t -> int array option
+(** The minimal allotment for target [tau], when the target is feasible
+    (every task can finish within [tau] and the area bound holds). *)

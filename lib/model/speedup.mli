@@ -1,0 +1,67 @@
+(** Speedup models of the paper (Section 3.1).
+
+    A moldable task run on [p] processors takes time [t(p)].  The paper's
+    general execution-time function (Equation (1)) is
+
+    {[ t(p) = w / min(p, ptilde) + d + c * (p - 1) ]}
+
+    where [w] is the parallelizable work, [ptilde] the maximum degree of
+    parallelism, [d] the inherently sequential work and [c] the per-processor
+    communication overhead.  Three named special cases are studied:
+
+    - {e roofline} (Equation (2)): [d = 0, c = 0];
+    - {e communication} (Equation (3)): [ptilde >= P, d = 0, c > 0];
+    - {e Amdahl} (Equation (4)): [ptilde >= P, c = 0, d > 0].
+
+    The [Arbitrary] constructor covers Section 5, where [t(p)] may be any
+    function of [p] (used by the [Omega(ln D)] lower bound with
+    [t(p) = 1 / (lg p + 1)]). *)
+
+type t =
+  | Roofline of { w : float; ptilde : int }
+      (** [t(p) = w / min(p, ptilde)]. Requires [w > 0], [ptilde >= 1]. *)
+  | Communication of { w : float; c : float }
+      (** [t(p) = w/p + c(p-1)]. Requires [w > 0], [c > 0]. *)
+  | Amdahl of { w : float; d : float }
+      (** [t(p) = w/p + d]. Requires [w > 0], [d > 0]. *)
+  | General of { w : float; ptilde : int; d : float; c : float }
+      (** Equation (1). Requires [w > 0], [ptilde >= 1], [d >= 0], [c >= 0]. *)
+  | Power of { w : float; alpha : float }
+      (** [t(p) = w / p^alpha] — the Prasanna–Musicus power-law model, one of
+          the "other common speedup models" the paper's conclusion proposes
+          to study.  Requires [w > 0] and [0 < alpha <= 1]; [alpha = 1] is
+          unbounded linear speedup.  {e Not} covered by the Table 1
+          guarantees: the area grows as [p^(1-alpha)], so no constant
+          competitive ratio is possible for Algorithm 2's allocation rule
+          (the benches explore this empirically). *)
+  | Arbitrary of { name : string; time : int -> float }
+      (** Any positive execution-time function (Section 5). *)
+
+type kind = Kind_roofline | Kind_communication | Kind_amdahl | Kind_general
+          | Kind_power | Kind_arbitrary
+(** Model family, used to select the per-family constant [mu]. *)
+
+val kind : t -> kind
+val kind_name : kind -> string
+
+val validate : t -> (unit, string) result
+(** Checks the parameter constraints documented on each constructor. *)
+
+val time : t -> int -> float
+(** [time m p] is [t(p)]; [p >= 1] required. *)
+
+val area : t -> int -> float
+(** [area m p = p * time m p] — processor-time product (Section 3.1). *)
+
+val speedup : t -> int -> float
+(** [speedup m p = time m 1 /. time m p]. *)
+
+val efficiency : t -> int -> float
+(** [efficiency m p = speedup m p /. p]. *)
+
+val canonical_general : t -> t option
+(** Re-expresses a named special case as the [General] form when possible
+    ([Arbitrary] yields [None]); used to cross-check the closed forms. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,77 @@
+type t = { id : int; label : string; speedup : Speedup.t }
+
+let make ?label ~id speedup =
+  (match Speedup.validate speedup with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Task.make: " ^ msg));
+  let label = match label with Some l -> l | None -> Printf.sprintf "t%d" id in
+  { id; label; speedup }
+
+let time t p = Speedup.time t.speedup p
+let area t p = Speedup.area t.speedup p
+
+type analyzed = {
+  task : t;
+  p : int;
+  p_max : int;
+  t_min : float;
+  a_min : float;
+}
+
+(* pbar of Equation (5): the integer neighbour of s = sqrt(w/c) with the
+   smaller execution time; meaningful only when c > 0. *)
+let pbar_of ~w ~c m =
+  let s = sqrt (w /. c) in
+  let lo = max 1 (int_of_float (floor s)) in
+  let hi = max lo (int_of_float (ceil s)) in
+  if Speedup.time m lo <= Speedup.time m hi then lo else hi
+
+let closed_form_p_max ~p (m : Speedup.t) =
+  match m with
+  | Speedup.Roofline { ptilde; _ } -> Some (min p ptilde)
+  | Speedup.Communication { w; c } -> Some (min p (pbar_of ~w ~c m))
+  | Speedup.Amdahl _ -> Some p
+  | Speedup.General { w; ptilde; c; _ } ->
+    if c > 0. then Some (min p (min ptilde (pbar_of ~w ~c m)))
+    else Some (min p ptilde)
+  | Speedup.Power _ -> Some p (* strictly decreasing execution time *)
+  | Speedup.Arbitrary _ -> None
+
+let p_max_scan ~p t =
+  Moldable_util.Numerics.integer_argmin ~f:(fun q -> time t q) ~lo:1 ~hi:p
+
+let analyze ~p t =
+  if p < 1 then invalid_arg "Task.analyze: platform size must be >= 1";
+  let p_max =
+    match closed_form_p_max ~p t.speedup with
+    | Some q -> q
+    | None -> p_max_scan ~p t
+  in
+  let t_min = time t p_max in
+  let a_min =
+    match t.speedup with
+    | Speedup.Arbitrary _ ->
+      let q =
+        Moldable_util.Numerics.integer_argmin ~f:(area t) ~lo:1 ~hi:p_max
+      in
+      area t q
+    | Speedup.Roofline _ | Speedup.Communication _ | Speedup.Amdahl _
+    | Speedup.General _ | Speedup.Power _ ->
+      area t 1
+  in
+  { task = t; p; p_max; t_min; a_min }
+
+let alpha a q = area a.task q /. a.a_min
+let beta a q = time a.task q /. a.t_min
+
+let monotonic a =
+  let ok = ref true in
+  for q = 1 to a.p_max - 1 do
+    let tq = time a.task q and tq1 = time a.task (q + 1) in
+    let aq = area a.task q and aq1 = area a.task (q + 1) in
+    if not (Moldable_util.Fcmp.geq tq tq1) then ok := false;
+    if not (Moldable_util.Fcmp.leq aq aq1) then ok := false
+  done;
+  !ok
+
+let pp ppf t = Format.fprintf ppf "%s#%d:%a" t.label t.id Speedup.pp t.speedup

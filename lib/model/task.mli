@@ -1,0 +1,56 @@
+(** Moldable tasks and their per-platform analysis (Section 3.2).
+
+    A task is a speedup model plus an identity.  Given the platform size [P],
+    the paper derives for each task [j]:
+
+    - [p_max] (Equation (5)): the largest allocation worth using —
+      [min(P, ptilde, pbar)] where [pbar] is the integer around
+      [s = sqrt(w/c)] with the smaller execution time;
+    - [t_min = t(p_max)]: the minimum execution time;
+    - [a_min = a(1)]: the minimum area (Lemma 1 shows the area is
+      non-decreasing on [1 .. p_max], so one processor minimizes it).
+
+    For [Arbitrary] speedups the closed forms do not apply and both extrema
+    are found by exhaustive scan over [1 .. P]. *)
+
+type t = {
+  id : int;          (** Unique within one task graph. *)
+  label : string;    (** Human-readable name for traces and Gantt charts. *)
+  speedup : Speedup.t;
+}
+
+val make : ?label:string -> id:int -> Speedup.t -> t
+(** [make ~id speedup] validates the model.
+    @raise Invalid_argument if {!Speedup.validate} fails. *)
+
+val time : t -> int -> float
+val area : t -> int -> float
+
+(** {1 Per-platform analysis} *)
+
+type analyzed = private {
+  task : t;
+  p : int;       (** Platform size [P] used for the analysis. *)
+  p_max : int;   (** Equation (5). *)
+  t_min : float; (** [time task p_max]. *)
+  a_min : float; (** Minimum area over allocations [1 .. p_max]. *)
+}
+
+val analyze : p:int -> t -> analyzed
+(** Requires [p >= 1]. *)
+
+val p_max_scan : p:int -> t -> int
+(** Exhaustive-scan argmin of [t(.)] over [1 .. p] (smallest tie): used to
+    cross-check the closed-form [p_max] of {!analyze} in tests. *)
+
+val alpha : analyzed -> int -> float
+(** [alpha a q = area q /. a_min] — the area ratio of Algorithm 2. *)
+
+val beta : analyzed -> int -> float
+(** [beta a q = time q /. t_min] — the execution-time ratio of Algorithm 2. *)
+
+val monotonic : analyzed -> bool
+(** True when on [1 .. p_max] the time is non-increasing and the area is
+    non-decreasing (the monotonic property of Lemma 1). *)
+
+val pp : Format.formatter -> t -> unit

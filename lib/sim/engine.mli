@@ -1,0 +1,54 @@
+(** Online discrete-event scheduling engine.
+
+    The engine owns the clock, the platform and the precedence bookkeeping,
+    and reveals the graph to the scheduling policy exactly as the online
+    model of Section 3.1 prescribes: a task (and its speedup parameters)
+    becomes visible only once all its predecessors have completed.  The
+    policy never sees the [Dag.t].
+
+    At time 0 and at every set of simultaneous task completions the engine
+    (1) reveals newly available tasks via [on_ready], then (2) repeatedly
+    asks [next_launch] for a task to start right now, until the policy
+    declines.  This is precisely the event structure of Algorithm 1. *)
+
+open Moldable_model
+open Moldable_graph
+
+type policy = {
+  name : string;
+  on_ready : now:float -> Task.t -> unit;
+      (** A task became available; its parameters are now visible. *)
+  next_launch : now:float -> free:int -> (int * int) option;
+      (** [Some (task_id, nprocs)] to start that task immediately on
+          [nprocs] processors, or [None] to wait for the next event.  Called
+          again after each launch with the updated free count. *)
+}
+
+exception Policy_error of string
+(** The policy launched a task that is not ready, exceeded the free
+    processor count, or stalled with ready tasks and no running work. *)
+
+type event =
+  | Ready of int
+  | Start of int * int  (** task id, allocation *)
+  | Finish of int
+
+type result = {
+  schedule : Schedule.t;
+  trace : (float * event) list;  (** Chronological. *)
+}
+
+val run : ?release_times:float array -> p:int -> policy -> Dag.t -> result
+(** Simulates the policy on the graph with [p] processors.
+
+    [release_times], when given (indexed by task id, non-negative, length
+    [Dag.n]), delays the reveal of each task: a task becomes available at
+    the maximum of its release time and the completion of its last
+    predecessor.  With an edgeless graph this is exactly the online
+    independent-tasks-over-time model the paper's conclusion mentions.
+
+    @raise Policy_error as documented above.
+    @raise Invalid_argument on ill-formed release times. *)
+
+val makespan : p:int -> policy -> Dag.t -> float
+(** Convenience: [makespan] of the schedule of {!run}. *)

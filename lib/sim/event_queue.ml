@@ -1,0 +1,40 @@
+type 'a item = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  heap : 'a item Moldable_util.Pqueue.t;
+  mutable next_seq : int;
+}
+
+let cmp a b =
+  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+
+let create () = { heap = Moldable_util.Pqueue.create ~cmp; next_seq = 0 }
+let is_empty t = Moldable_util.Pqueue.is_empty t.heap
+let length t = Moldable_util.Pqueue.length t.heap
+
+let add t ~time payload =
+  if not (Float.is_finite time) then
+    invalid_arg "Event_queue.add: time must be finite";
+  Moldable_util.Pqueue.push t.heap { time; seq = t.next_seq; payload };
+  t.next_seq <- t.next_seq + 1
+
+let next_time t =
+  Option.map (fun i -> i.time) (Moldable_util.Pqueue.peek t.heap)
+
+let pop t =
+  Option.map
+    (fun i -> (i.time, i.payload))
+    (Moldable_util.Pqueue.pop t.heap)
+
+let pop_simultaneous t =
+  match pop t with
+  | None -> None
+  | Some (time, first) ->
+    let rec gather acc =
+      match Moldable_util.Pqueue.peek t.heap with
+      | Some i when i.time = time ->
+        let i = Moldable_util.Pqueue.pop_exn t.heap in
+        gather (i.payload :: acc)
+      | Some _ | None -> List.rev acc
+    in
+    Some (time, gather [ first ])

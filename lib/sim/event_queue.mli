@@ -1,0 +1,23 @@
+(** Time-ordered event queue for the discrete-event engine.
+
+    Events are totally ordered by [(time, sequence number)]: ties in time are
+    broken by insertion order, which keeps the simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val add : 'a t -> time:float -> 'a -> unit
+(** Requires a finite, non-NaN [time]. *)
+
+val next_time : 'a t -> float option
+(** Time stamp of the earliest event, if any. *)
+
+val pop : 'a t -> (float * 'a) option
+
+val pop_simultaneous : 'a t -> (float * 'a list) option
+(** Pops {e every} event carrying the earliest time stamp (exact float
+    equality), in insertion order — the engine treats simultaneous
+    completions as one scheduling instant, as Algorithm 1 does. *)

@@ -1,0 +1,65 @@
+(** Failure-prone execution of moldable task graphs.
+
+    The paper notes that its results "readily carry over to the failure
+    scenario" of Benoit et al. (resilient scheduling of moldable jobs): a
+    task may fail silently and the failure is detected only when the task
+    completes, at which point the task must be re-executed — from scratch,
+    with a possibly different allocation — until one attempt succeeds.  This
+    is semi-online: the graph reveal rules are unchanged, but completions
+    may now be failures.
+
+    This engine drives the same {!Engine.policy} interface: on a failed
+    attempt, the task is handed back to the policy through [on_ready] (so a
+    stateless allocator naturally re-allocates it) and its successors stay
+    blocked until a successful attempt completes. *)
+
+open Moldable_util
+open Moldable_graph
+
+type failure_model = {
+  model_name : string;
+  fails : Rng.t -> task_id:int -> attempt:int -> bool;
+      (** Decides whether the [attempt]-th execution (1-based) of the task
+          fails. *)
+}
+
+val never : failure_model
+val bernoulli : q:float -> failure_model
+(** Each attempt fails independently with probability [q] in [\[0, 1)]. *)
+
+val at_most : k:int -> failure_model
+(** Deterministic: the first [k] attempts of every task fail, the next
+    succeeds — handy for exact makespan assertions in tests. *)
+
+type attempt = {
+  task_id : int;
+  attempt : int;      (** 1-based attempt number. *)
+  start : float;
+  finish : float;
+  nprocs : int;
+  procs : int array;
+  failed : bool;
+}
+
+type result = {
+  attempts : attempt list;  (** Chronological (by start, then task id). *)
+  makespan : float;
+  n_attempts : int;
+  n_failures : int;
+}
+
+val run :
+  ?seed:int -> ?max_attempts:int -> failures:failure_model -> p:int ->
+  Engine.policy -> Dag.t -> result
+(** [max_attempts] (default 1000) bounds the attempts per task, guarding
+    against failure models that never succeed.
+    @raise Engine.Policy_error on policy misbehaviour.
+    @raise Failure when a task exceeds [max_attempts]. *)
+
+val validate : dag:Dag.t -> p:int -> result -> (unit, string list) Stdlib.result
+(** Checks: every task has exactly one successful attempt and it is its
+    last; attempt durations equal [t(nprocs)]; precedence constraints hold
+    against the {e successful} completion of predecessors; no processor is
+    shared by two concurrent attempts. *)
+
+val validate_exn : dag:Dag.t -> p:int -> result -> unit

@@ -1,0 +1,163 @@
+open Moldable_model
+open Moldable_graph
+
+type phase = { t0 : float; t1 : float; allocs : (int * int) list }
+
+type result = {
+  phases : phase list;
+  makespan : float;
+  completion : float array;
+}
+
+(* Fair water-filling: split [p] processors among the given tasks, capping
+   each at its p_max; excess from capped tasks is redistributed among the
+   rest round by round.  Tasks receive at least one processor as long as
+   there are at most [p] of them (the caller never activates more). *)
+let water_fill ~p tasks_with_caps =
+  let n = List.length tasks_with_caps in
+  if n = 0 then []
+  else begin
+    let alloc = Hashtbl.create n in
+    let remaining = ref p in
+    let active = ref tasks_with_caps in
+    let continue = ref true in
+    while !continue && !active <> [] && !remaining > 0 do
+      let m = List.length !active in
+      let share = max 1 (!remaining / m) in
+      let next_active = ref [] in
+      let gave = ref false in
+      List.iter
+        (fun (id, cap) ->
+          let current = Option.value ~default:0 (Hashtbl.find_opt alloc id) in
+          let want = min cap (current + share) in
+          let give = min (want - current) !remaining in
+          if give > 0 then begin
+            Hashtbl.replace alloc id (current + give);
+            remaining := !remaining - give;
+            gave := true
+          end;
+          if current + give < cap then next_active := (id, cap) :: !next_active)
+        !active;
+      active := List.rev !next_active;
+      if not !gave then continue := false
+    done;
+    List.filter_map
+      (fun (id, _) ->
+        match Hashtbl.find_opt alloc id with
+        | Some q when q > 0 -> Some (id, q)
+        | Some _ | None -> None)
+      tasks_with_caps
+  end
+
+let equal_share ~p dag =
+  let n = Dag.n dag in
+  let indeg = Array.init n (Dag.in_degree dag) in
+  let remaining = Array.make n 1.0 in
+  let completion = Array.make n nan in
+  let available = ref [] in
+  (* Tasks beyond platform capacity wait in FIFO order. *)
+  let reveal i = available := !available @ [ i ] in
+  List.iter reveal (Dag.sources dag);
+  let phases = ref [] in
+  let now = ref 0. in
+  let completed = ref 0 in
+  while !completed < n do
+    (* Activate at most P tasks (each needs >= 1 processor). *)
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: rest -> x :: take (k - 1) rest
+    in
+    let active = take p !available in
+    if active = [] then
+      failwith "Malleable_engine.equal_share: stalled with tasks remaining";
+    let caps =
+      List.map
+        (fun i -> (i, (Task.analyze ~p (Dag.task dag i)).Task.p_max))
+        active
+    in
+    let allocs = water_fill ~p caps in
+    let rates =
+      List.map
+        (fun (i, q) -> (i, 1. /. Task.time (Dag.task dag i) q))
+        allocs
+    in
+    (* Next event: the earliest completion under these rates. *)
+    let dt =
+      List.fold_left
+        (fun acc (i, rate) -> Float.min acc (remaining.(i) /. rate))
+        infinity rates
+    in
+    if not (Float.is_finite dt) then
+      failwith "Malleable_engine.equal_share: no progress possible";
+    let t0 = !now and t1 = !now +. dt in
+    phases := { t0; t1; allocs } :: !phases;
+    now := t1;
+    let finished = ref [] in
+    List.iter
+      (fun (i, rate) ->
+        remaining.(i) <- remaining.(i) -. (rate *. dt);
+        if remaining.(i) <= 1e-12 then begin
+          remaining.(i) <- 0.;
+          completion.(i) <- t1;
+          finished := i :: !finished
+        end)
+      rates;
+    let finished = List.rev !finished in
+    available := List.filter (fun i -> not (List.mem i finished)) !available;
+    List.iter
+      (fun i ->
+        incr completed;
+        List.iter
+          (fun j ->
+            indeg.(j) <- indeg.(j) - 1;
+            if indeg.(j) = 0 then reveal j)
+          (Dag.successors dag i))
+      finished
+  done;
+  { phases = List.rev !phases; makespan = !now; completion }
+
+let validate ~dag ~p result =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let n = Dag.n dag in
+  let progress = Array.make n 0. in
+  let first_start = Array.make n infinity in
+  let prev_end = ref 0. in
+  List.iter
+    (fun ph ->
+      if not (Moldable_util.Fcmp.approx ph.t0 !prev_end) then
+        err "phase starting at %g is not contiguous with %g" ph.t0 !prev_end;
+      prev_end := ph.t1;
+      let used = List.fold_left (fun acc (_, q) -> acc + q) 0 ph.allocs in
+      if used > p then err "phase [%g, %g] uses %d > P procs" ph.t0 ph.t1 used;
+      List.iter
+        (fun (i, q) ->
+          if q < 1 || q > p then err "task %d allocated %d procs" i q;
+          if i < 0 || i >= n then err "unknown task %d" i
+          else begin
+            progress.(i) <-
+              progress.(i) +. ((ph.t1 -. ph.t0) /. Task.time (Dag.task dag i) q);
+            if ph.t0 < first_start.(i) then first_start.(i) <- ph.t0
+          end)
+        ph.allocs)
+    result.phases;
+  for i = 0 to n - 1 do
+    if not (Moldable_util.Fcmp.approx ~eps:1e-6 progress.(i) 1.) then
+      err "task %d accumulated progress %.9f (expected 1)" i progress.(i)
+  done;
+  List.iter
+    (fun (i, j) ->
+      if
+        Moldable_util.Fcmp.lt ~eps:1e-6 first_start.(j) result.completion.(i)
+      then
+        err "task %d starts at %g before predecessor %d completes at %g" j
+          first_start.(j) i result.completion.(i))
+    (Dag.edges dag);
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let validate_exn ~dag ~p result =
+  match validate ~dag ~p result with
+  | Ok () -> ()
+  | Error es ->
+    failwith ("invalid malleable schedule:\n  " ^ String.concat "\n  " es)

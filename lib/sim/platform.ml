@@ -1,0 +1,55 @@
+type t = {
+  size : int;
+  free : bool array;
+  mutable n_free : int;
+  mutable scan_hint : int; (* smallest index possibly free *)
+}
+
+let create p =
+  if p < 1 then invalid_arg "Platform.create: need at least one processor";
+  { size = p; free = Array.make p true; n_free = p; scan_hint = 0 }
+
+let p t = t.size
+let free_count t = t.n_free
+let busy_count t = t.size - t.n_free
+
+let acquire t n =
+  if n < 1 then invalid_arg "Platform.acquire: need a positive allocation";
+  if n > t.n_free then
+    invalid_arg
+      (Printf.sprintf "Platform.acquire: %d requested but only %d free" n
+         t.n_free);
+  let ids = Array.make n 0 in
+  let found = ref 0 and i = ref t.scan_hint in
+  while !found < n do
+    if t.free.(!i) then begin
+      t.free.(!i) <- false;
+      ids.(!found) <- !i;
+      incr found
+    end;
+    incr i
+  done;
+  t.n_free <- t.n_free - n;
+  (* Invariant: every processor below [scan_hint] is busy.  The scan starts
+     at the hint and consumes every free processor it passes, so the
+     invariant extends to the final scan position. *)
+  t.scan_hint <- !i;
+  ids
+
+let release t ids =
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= t.size then
+        invalid_arg (Printf.sprintf "Platform.release: bad processor id %d" i);
+      if t.free.(i) then
+        invalid_arg
+          (Printf.sprintf "Platform.release: processor %d is not busy" i);
+      t.free.(i) <- true;
+      if i < t.scan_hint then t.scan_hint <- i)
+    ids;
+  t.n_free <- t.n_free + Array.length ids
+
+let is_free t i =
+  if i < 0 || i >= t.size then
+    invalid_arg (Printf.sprintf "Platform.is_free: bad processor id %d" i);
+  t.free.(i)

@@ -1,0 +1,108 @@
+type placement = {
+  task_id : int;
+  start : float;
+  finish : float;
+  nprocs : int;
+  procs : int array;
+}
+
+type t = { p : int; by_task : placement array }
+
+type builder = {
+  bp : int;
+  slots : placement option array;
+  mutable added : int;
+}
+
+let builder ~p ~n =
+  if p < 1 then invalid_arg "Schedule.builder: p must be >= 1";
+  if n < 0 then invalid_arg "Schedule.builder: n must be >= 0";
+  { bp = p; slots = Array.make n None; added = 0 }
+
+let well_formed_procs p pl =
+  Array.length pl.procs = pl.nprocs
+  && pl.nprocs >= 1
+  && Array.for_all (fun i -> i >= 0 && i < p) pl.procs
+  &&
+  let ok = ref true in
+  for k = 0 to Array.length pl.procs - 2 do
+    if pl.procs.(k) >= pl.procs.(k + 1) then ok := false
+  done;
+  !ok
+
+let add b pl =
+  if pl.task_id < 0 || pl.task_id >= Array.length b.slots then
+    invalid_arg
+      (Printf.sprintf "Schedule.add: task id %d out of range" pl.task_id);
+  if b.slots.(pl.task_id) <> None then
+    invalid_arg
+      (Printf.sprintf "Schedule.add: task %d placed twice" pl.task_id);
+  if pl.start < 0. || pl.finish < pl.start then
+    invalid_arg
+      (Printf.sprintf "Schedule.add: task %d has an ill-formed time window"
+         pl.task_id);
+  if not (well_formed_procs b.bp pl) then
+    invalid_arg
+      (Printf.sprintf "Schedule.add: task %d has an ill-formed processor set"
+         pl.task_id);
+  b.slots.(pl.task_id) <- Some pl;
+  b.added <- b.added + 1
+
+let finalize b =
+  let by_task =
+    Array.mapi
+      (fun i slot ->
+        match slot with
+        | Some pl -> pl
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Schedule.finalize: task %d was never placed" i))
+      b.slots
+  in
+  { p = b.bp; by_task }
+
+let p t = t.p
+let n t = Array.length t.by_task
+
+let makespan t =
+  Array.fold_left (fun acc pl -> Float.max acc pl.finish) 0. t.by_task
+
+let placement t i = t.by_task.(i)
+
+let placements t =
+  let l = Array.to_list t.by_task in
+  List.sort
+    (fun a b ->
+      match compare a.start b.start with
+      | 0 -> compare a.task_id b.task_id
+      | c -> c)
+    l
+
+let utilization_steps t =
+  (* Sweep: +nprocs at start, -nprocs at finish. *)
+  let deltas =
+    Array.to_list t.by_task
+    |> List.concat_map (fun pl ->
+           [ (pl.start, pl.nprocs); (pl.finish, -pl.nprocs) ])
+    |> List.sort (fun (ta, _) (tb, _) -> compare ta tb)
+  in
+  let rec sweep acc busy cursor = function
+    | [] -> List.rev acc
+    | (time, delta) :: rest ->
+      let acc =
+        if time > cursor then (cursor, time, busy) :: acc else acc
+      in
+      sweep acc (busy + delta) time rest
+  in
+  match deltas with
+  | [] -> []
+  | (t0, _) :: _ -> sweep [] 0 t0 deltas
+
+let busy_area t =
+  Array.fold_left
+    (fun acc pl -> acc +. (float_of_int pl.nprocs *. (pl.finish -. pl.start)))
+    0. t.by_task
+
+let average_utilization t =
+  let ms = makespan t in
+  if ms <= 0. then 0. else busy_area t /. (float_of_int t.p *. ms)

@@ -1,0 +1,49 @@
+(** Immutable record of a complete schedule: where and when every task ran.
+
+    Built through a mutable {!builder} by the engine (or by hand for the
+    constructive offline schedules of the lower-bound proofs), then finalized
+    and queried. *)
+
+type placement = {
+  task_id : int;
+  start : float;
+  finish : float;
+  nprocs : int;
+  procs : int array; (** Ascending processor ids; length [nprocs]. *)
+}
+
+type t
+
+(** {1 Building} *)
+
+type builder
+
+val builder : p:int -> n:int -> builder
+(** [builder ~p ~n] prepares a schedule of [n] tasks on [p] processors. *)
+
+val add : builder -> placement -> unit
+(** @raise Invalid_argument on a duplicate task id, an out-of-range id, a
+    negative-duration placement, or an ill-formed processor set. *)
+
+val finalize : builder -> t
+(** @raise Invalid_argument if some task has no placement. *)
+
+(** {1 Queries} *)
+
+val p : t -> int
+val n : t -> int
+val makespan : t -> float
+val placement : t -> int -> placement
+val placements : t -> placement list
+(** Sorted by start time (ties by task id). *)
+
+val utilization_steps : t -> (float * float * int) list
+(** Step function of processor usage: [(t0, t1, busy)] segments covering
+    [\[0, makespan\]] with constant busy count, in time order.  Segments of
+    zero width are omitted. *)
+
+val busy_area : t -> float
+(** Integral of the busy count over time = sum of [nprocs * duration]. *)
+
+val average_utilization : t -> float
+(** [busy_area / (P * makespan)]; [0.] for an empty schedule. *)

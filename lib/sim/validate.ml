@@ -1,0 +1,78 @@
+open Moldable_model
+open Moldable_graph
+
+let check ~dag sched =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let n = Dag.n dag in
+  if Schedule.n sched <> n then
+    err "schedule has %d tasks but the graph has %d" (Schedule.n sched) n;
+  let m = min n (Schedule.n sched) in
+  (* Durations. *)
+  for i = 0 to m - 1 do
+    let pl = Schedule.placement sched i in
+    let expected = Task.time (Dag.task dag i) pl.Schedule.nprocs in
+    let actual = pl.Schedule.finish -. pl.Schedule.start in
+    if not (Moldable_util.Fcmp.approx ~eps:1e-6 expected actual) then
+      err "task %d on %d procs should run %.9g time units but runs %.9g" i
+        pl.Schedule.nprocs expected actual
+  done;
+  (* Precedence. *)
+  List.iter
+    (fun (i, j) ->
+      if i < m && j < m then begin
+        let pi = Schedule.placement sched i
+        and pj = Schedule.placement sched j in
+        if Moldable_util.Fcmp.lt ~eps:1e-6 pj.Schedule.start pi.Schedule.finish
+        then
+          err "edge (%d,%d) violated: %d starts at %.9g before %d finishes at \
+               %.9g"
+            i j j pj.Schedule.start i pi.Schedule.finish
+      end)
+    (Dag.edges dag);
+  (* Processor disjointness: sweep; at equal times releases come first so
+     back-to-back reuse of a processor is legal. *)
+  let events = ref [] in
+  for i = 0 to m - 1 do
+    let pl = Schedule.placement sched i in
+    events := (pl.Schedule.start, 1, pl) :: (pl.Schedule.finish, 0, pl)
+              :: !events
+  done;
+  let events =
+    List.sort
+      (fun (ta, ka, _) (tb, kb, _) ->
+        match compare ta tb with 0 -> compare ka kb | c -> c)
+      !events
+  in
+  let occupied = Array.make (Schedule.p sched) (-1) in
+  List.iter
+    (fun (_, phase, (pl : Schedule.placement)) ->
+      if phase = 0 then
+        Array.iter
+          (fun proc ->
+            if occupied.(proc) = pl.Schedule.task_id then occupied.(proc) <- -1)
+          pl.Schedule.procs
+      else
+        Array.iter
+          (fun proc ->
+            if occupied.(proc) >= 0 then
+              err "processor %d used by tasks %d and %d simultaneously" proc
+                occupied.(proc) pl.Schedule.task_id
+            else occupied.(proc) <- pl.Schedule.task_id)
+          pl.Schedule.procs)
+    events;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let check_exn ~dag sched =
+  match check ~dag sched with
+  | Ok () -> ()
+  | Error es -> failwith ("invalid schedule:\n  " ^ String.concat "\n  " es)
+
+let respects_allocation_bound ~dag sched =
+  let ok = ref true in
+  for i = 0 to Dag.n dag - 1 do
+    let a = Task.analyze ~p:(Schedule.p sched) (Dag.task dag i) in
+    let pl = Schedule.placement sched i in
+    if pl.Schedule.nprocs > a.Task.p_max then ok := false
+  done;
+  !ok

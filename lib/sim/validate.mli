@@ -1,0 +1,27 @@
+(** Feasibility checker for schedules.
+
+    Every schedule produced anywhere in this repository — by the online
+    engine, by the hand-built offline schedules of the lower-bound proofs, or
+    by tests — is passed through [check], which verifies, against the task
+    graph it claims to schedule:
+
+    - each task runs exactly once, for exactly [t_j(p_j)] time units
+      (non-preemptive, no restarts);
+    - precedence constraints: a task starts no earlier than the completion of
+      each of its predecessors;
+    - capacity: no processor id is used by two tasks simultaneously (which
+      implies at most [P] processors are ever busy);
+    - allocations are integers in [\[1, P\]] with well-formed processor sets.
+*)
+
+open Moldable_graph
+
+val check : dag:Dag.t -> Schedule.t -> (unit, string list) result
+(** All violations found, or [Ok ()]. *)
+
+val check_exn : dag:Dag.t -> Schedule.t -> unit
+(** @raise Failure with the concatenated violations. *)
+
+val respects_allocation_bound : dag:Dag.t -> Schedule.t -> bool
+(** True when every allocation is at most the task's [p_max] (Equation (5)) —
+    a property of reasonable algorithms (Section 3.2), not of feasibility. *)

@@ -1,0 +1,49 @@
+open Moldable_core
+
+let roofline ~mu = 1. /. mu
+
+let communication ~mu =
+  let delta = Mu.delta mu in
+  let w_b = 6. *. delta /. (3. -. delta) in
+  (1. /. (1. -. mu)) +. (2. /. ((1. -. mu) *. w_b)) +. delta
+
+let amdahl ~mu =
+  let delta = Mu.delta mu in
+  (delta /. ((delta -. 1.) *. (1. -. mu))) +. delta
+
+let general = amdahl (* Theorem 8 reuses the Theorem 7 expression. *)
+
+let for_family (f : Model_bounds.family) ~mu =
+  match f with
+  | Model_bounds.Roofline -> roofline ~mu
+  | Model_bounds.Communication -> communication ~mu
+  | Model_bounds.Amdahl -> amdahl ~mu
+  | Model_bounds.General -> general ~mu
+
+type row = {
+  family : Model_bounds.family;
+  mu : float;
+  bound : float;
+  paper_bound : float;
+}
+
+let paper_lower = function
+  | Model_bounds.Roofline -> 2.61
+  | Model_bounds.Communication -> 3.51
+  | Model_bounds.Amdahl -> 4.73
+  | Model_bounds.General -> 5.25
+
+let mu_of_family = function
+  | Model_bounds.Roofline -> Mu.default Moldable_model.Speedup.Kind_roofline
+  | Model_bounds.Communication ->
+    Mu.default Moldable_model.Speedup.Kind_communication
+  | Model_bounds.Amdahl -> Mu.default Moldable_model.Speedup.Kind_amdahl
+  | Model_bounds.General -> Mu.default Moldable_model.Speedup.Kind_general
+
+let table1_lower () =
+  List.map
+    (fun family ->
+      let mu = mu_of_family family in
+      { family; mu; bound = for_family family ~mu;
+        paper_bound = paper_lower family })
+    Model_bounds.all_families

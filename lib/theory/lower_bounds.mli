@@ -1,0 +1,28 @@
+(** Lower bounds of Table 1 (Theorems 5–8): the limit, as [P] grows, of the
+    ratio between Algorithm 1's makespan on the adversarial graph of
+    Figure 1 and the alternative offline schedule's makespan.
+
+    - roofline (Theorem 5): [1/mu] — 2.61;
+    - communication (Theorem 6): [1/(1-mu) + (3-delta)/(3 delta (1-mu)) +
+      delta] — 3.51 (the limit of
+      [1/(1-mu) + 2/((1-mu) w_B) + delta] with [w_B -> 6delta/(3-delta)]);
+    - Amdahl (Theorem 7): [delta/((delta-1)(1-mu)) + delta] — 4.73;
+    - general (Theorem 8): same expression with the general-model [mu] —
+      5.25. *)
+
+val roofline : mu:float -> float
+val communication : mu:float -> float
+val amdahl : mu:float -> float
+val general : mu:float -> float
+
+val for_family : Model_bounds.family -> mu:float -> float
+
+type row = {
+  family : Model_bounds.family;
+  mu : float;
+  bound : float;
+  paper_bound : float;  (** The Table 1 entry. *)
+}
+
+val table1_lower : unit -> row list
+(** Evaluated at the per-family default [mu] of {!Moldable_core.Mu}. *)

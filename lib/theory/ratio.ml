@@ -1,0 +1,7 @@
+let competitive ~mu ~alpha =
+  ((mu *. alpha) +. 1. -. (2. *. mu)) /. (mu *. (1. -. mu))
+
+let beta_feasible ~mu ~beta =
+  Moldable_util.Fcmp.leq beta (Moldable_core.Mu.delta mu)
+
+let mu_admissible mu = mu > 0. && mu <= Moldable_core.Mu.mu_max +. 1e-12

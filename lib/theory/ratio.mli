@@ -1,0 +1,14 @@
+(** The competitive-ratio expression of the analysis framework (Lemma 5).
+
+    If every initial allocation satisfies [a(p) <= alpha * a_min] and
+    [t(p) <= beta * t_min] with [beta <= delta(mu)], then Algorithm 1 is
+    [(mu alpha + 1 - 2 mu) / (mu (1 - mu))]-competitive. *)
+
+val competitive : mu:float -> alpha:float -> float
+(** The Lemma 5 ratio. Requires [0 < mu <= Mu.mu_max]. *)
+
+val beta_feasible : mu:float -> beta:float -> bool
+(** Whether [beta <= delta(mu)] (tolerantly). *)
+
+val mu_admissible : float -> bool
+(** [0 < mu <= (3 - sqrt 5)/2], the admissible range from [beta >= 1]. *)

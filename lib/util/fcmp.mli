@@ -1,0 +1,33 @@
+(** Tolerant floating-point comparisons.
+
+    Scheduling simulations accumulate floating-point error when summing task
+    durations; every comparison of times, areas or ratios in this code base
+    goes through this module so that the tolerance is defined in one place. *)
+
+val default_eps : float
+(** Default absolute/relative tolerance, [1e-9]. *)
+
+val approx : ?eps:float -> float -> float -> bool
+(** [approx a b] is true when [a] and [b] are equal up to [eps], absolutely
+    for small magnitudes and relatively for large ones. *)
+
+val leq : ?eps:float -> float -> float -> bool
+(** [leq a b] is [a <= b] up to tolerance ([a] may exceed [b] by [eps]). *)
+
+val geq : ?eps:float -> float -> float -> bool
+(** [geq a b] is [b <= a] up to tolerance. *)
+
+val lt : ?eps:float -> float -> float -> bool
+(** Strictly less, beyond tolerance. *)
+
+val gt : ?eps:float -> float -> float -> bool
+(** Strictly greater, beyond tolerance. *)
+
+val is_zero : ?eps:float -> float -> bool
+(** [is_zero x] is [approx x 0.]. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] restricts [x] to the interval [\[lo, hi\]]. *)
+
+val compare_approx : ?eps:float -> float -> float -> int
+(** Three-way comparison that treats approximately-equal values as equal. *)

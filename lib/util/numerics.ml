@@ -1,0 +1,86 @@
+let phi = (1. +. sqrt 5.) /. 2.
+let resphi = 2. -. phi
+
+let golden_section_min ?(tol = 1e-12) ~f ~lo ~hi () =
+  if lo > hi then invalid_arg "Numerics.golden_section_min: empty interval";
+  let rec loop a b c fb =
+    (* Invariant: a < b < c and f b <= min (f a) (f c). *)
+    if c -. a < tol *. (Float.abs b +. 1.) then (b, fb)
+    else begin
+      let x = if c -. b > b -. a then b +. (resphi *. (c -. b))
+              else b -. (resphi *. (b -. a)) in
+      let fx = f x in
+      if fx < fb then
+        if x > b then loop b x c fx else loop a x b fx
+      else if x > b then loop a b x fb
+      else loop x b c fb
+    end
+  in
+  let b = lo +. (resphi *. (hi -. lo)) in
+  loop lo b hi (f b)
+
+let grid_min ?(n = 10_000) ~f ~lo ~hi () =
+  if n < 2 then invalid_arg "Numerics.grid_min: need at least 2 points";
+  let best_x = ref lo and best_f = ref (f lo) in
+  for i = 1 to n - 1 do
+    let x = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)) in
+    let fx = f x in
+    if fx < !best_f then begin
+      best_x := x;
+      best_f := fx
+    end
+  done;
+  (!best_x, !best_f)
+
+let minimize ?(tol = 1e-12) ?(grid = 2_000) ~f ~lo ~hi () =
+  let step = (hi -. lo) /. float_of_int grid in
+  let x0, _ = grid_min ~n:(grid + 1) ~f ~lo ~hi () in
+  let a = Float.max lo (x0 -. step) and c = Float.min hi (x0 +. step) in
+  golden_section_min ~tol ~f ~lo:a ~hi:c ()
+
+let bisect ?(tol = 1e-12) ~f ~lo ~hi () =
+  let fa = f lo and fb = f hi in
+  if fa = 0. then lo
+  else if fb = 0. then hi
+  else if (fa > 0.) = (fb > 0.) then
+    invalid_arg "Numerics.bisect: no sign change on interval"
+  else begin
+    let a = ref lo and b = ref hi and fa = ref fa in
+    while !b -. !a > tol *. (Float.abs !a +. 1.) do
+      let m = 0.5 *. (!a +. !b) in
+      let fm = f m in
+      if fm = 0. then begin a := m; b := m end
+      else if (fm > 0.) = (!fa > 0.) then begin a := m; fa := fm end
+      else b := m
+    done;
+    0.5 *. (!a +. !b)
+  end
+
+let integer_argmin ~f ~lo ~hi =
+  if lo > hi then invalid_arg "Numerics.integer_argmin: empty range";
+  let best = ref lo and best_f = ref (f lo) in
+  for p = lo + 1 to hi do
+    let fp = f p in
+    if fp < !best_f then begin
+      best := p;
+      best_f := fp
+    end
+  done;
+  !best
+
+let integer_argmin_unimodal ~f ~lo ~hi =
+  if lo > hi then invalid_arg "Numerics.integer_argmin_unimodal: empty range";
+  let a = ref lo and b = ref hi in
+  while !b - !a > 2 do
+    let m1 = !a + ((!b - !a) / 3) in
+    let m2 = !b - ((!b - !a) / 3) in
+    if f m1 <= f m2 then b := m2 else a := m1
+  done;
+  integer_argmin ~f ~lo:!a ~hi:!b
+
+let harmonic n =
+  let acc = ref 0. in
+  for i = 1 to n do
+    acc := !acc +. (1. /. float_of_int i)
+  done;
+  !acc

@@ -1,0 +1,41 @@
+(** Scalar numerical routines used by the theory module: one-dimensional
+    minimization (golden-section refined from a grid scan) and bisection
+    root-finding. The competitive-ratio optimizations of Theorems 2–4 are
+    minimizations of smooth single-variable functions over an interval. *)
+
+val golden_section_min :
+  ?tol:float -> f:(float -> float) -> lo:float -> hi:float -> unit ->
+  float * float
+(** [golden_section_min ~f ~lo ~hi ()] returns [(x_star, f x_star)] minimizing the
+    unimodal function [f] on [\[lo, hi\]] to absolute tolerance [tol]
+    (default [1e-12] on [x]). *)
+
+val grid_min :
+  ?n:int -> f:(float -> float) -> lo:float -> hi:float -> unit ->
+  float * float
+(** Dense scan with [n] points (default 10_000); robust for non-unimodal
+    functions; returns the best sample. *)
+
+val minimize :
+  ?tol:float -> ?grid:int -> f:(float -> float) -> lo:float -> hi:float ->
+  unit -> float * float
+(** Grid scan to bracket the global minimum, then golden-section refinement
+    inside the best bracket. Suitable for the piecewise-smooth ratio
+    functions of the paper. *)
+
+val bisect :
+  ?tol:float -> f:(float -> float) -> lo:float -> hi:float -> unit -> float
+(** Root of [f] on [\[lo, hi\]]; requires a sign change.
+    @raise Invalid_argument if [f lo] and [f hi] have the same sign. *)
+
+val integer_argmin : f:(int -> float) -> lo:int -> hi:int -> int
+(** Exhaustive argmin of [f] over integers [\[lo, hi\]]; ties break to the
+    smallest argument. Requires [lo <= hi]. *)
+
+val integer_argmin_unimodal : f:(int -> float) -> lo:int -> hi:int -> int
+(** Ternary-search argmin for a unimodal [f] (non-increasing then
+    non-decreasing) over [\[lo, hi\]]; ties break toward the smallest
+    argument within the final bracket. O(log(hi-lo)) evaluations. *)
+
+val harmonic : int -> float
+(** [harmonic n] is [sum_{i=1}^{n} 1/i]; [0.] for [n <= 0]. *)

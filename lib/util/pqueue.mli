@@ -1,0 +1,25 @@
+(** Polymorphic binary-heap priority queue (min-heap by a caller-supplied
+    comparison), used by the event queue of the simulator and by priority
+    rules of the scheduler. Amortized O(log n) push/pop, O(1) peek. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty queue; [cmp] orders elements, smallest popped first. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty queue. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive: elements in popping order. *)
+
+val clear : 'a t -> unit
+val iter_unordered : ('a -> unit) -> 'a t -> unit

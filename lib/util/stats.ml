@@ -1,0 +1,56 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p95 : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty sample"
+  | _ ->
+    let total = List.fold_left ( +. ) 0. xs in
+    total /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    sqrt (sq /. float_of_int (List.length xs - 1))
+
+let percentile q xs =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty sample"
+  | _ ->
+    if q < 0. || q > 1. then invalid_arg "Stats.percentile: q out of [0,1]";
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    let pos = q *. float_of_int (n - 1) in
+    let i = int_of_float (Float.of_int (int_of_float pos)) in
+    let frac = pos -. float_of_int i in
+    if i + 1 >= n then arr.(n - 1)
+    else arr.(i) +. (frac *. (arr.(i + 1) -. arr.(i)))
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty sample"
+  | _ ->
+    {
+      n = List.length xs;
+      mean = mean xs;
+      stddev = stddev xs;
+      min = List.fold_left Float.min Float.infinity xs;
+      max = List.fold_left Float.max Float.neg_infinity xs;
+      median = percentile 0.5 xs;
+      p95 = percentile 0.95 xs;
+    }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "mean=%.4f sd=%.4f min=%.4f med=%.4f p95=%.4f max=%.4f (n=%d)"
+    s.mean s.stddev s.min s.median s.p95 s.max s.n

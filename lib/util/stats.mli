@@ -1,0 +1,23 @@
+(** Descriptive statistics for experiment reporting. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p95 : float;
+}
+
+val summarize : float list -> summary
+(** Summary of a non-empty sample.
+    @raise Invalid_argument on an empty list. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+val percentile : float -> float list -> float
+(** [percentile q xs] with [q] in [\[0, 1\]], linear interpolation. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Renders ["mean=… sd=… min=… med=… p95=… max=… (n=…)"]. *)

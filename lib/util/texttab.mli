@@ -1,0 +1,25 @@
+(** Aligned plain-text tables for bench and CLI output: every table the bench
+    harness regenerates from the paper is printed through this module so the
+    rows line up and are easy to diff against the paper. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : headers:string list -> t
+(** New table; column count is fixed by the header list. *)
+
+val set_aligns : t -> align list -> unit
+(** Per-column alignment (default all [Left]). Lengths must match. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the arity differs from the header. *)
+
+val add_sep : t -> unit
+(** Horizontal separator row. *)
+
+val render : t -> string
+(** Render with box-drawing in plain ASCII. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

@@ -1,0 +1,26 @@
+open Moldable_model
+open Moldable_graph
+
+let escape s =
+  String.concat "" (List.map (function '"' -> "\\\"" | c ->
+    String.make 1 c) (List.init (String.length s) (String.get s)))
+
+let of_dag ?(name = "taskgraph") ?(show_speedup = false) dag =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=circle];\n";
+  for i = 0 to Dag.n dag - 1 do
+    let t = Dag.task dag i in
+    let label =
+      if show_speedup then
+        Printf.sprintf "%s\\n%s" t.Task.label (Speedup.to_string t.Task.speedup)
+      else t.Task.label
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\"];\n" i (escape label))
+  done;
+  List.iter
+    (fun (i, j) -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" i j))
+    (Dag.edges dag);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** Graphviz DOT export of task graphs (to render Figures 1 and 3). *)
+
+open Moldable_graph
+
+val of_dag : ?name:string -> ?show_speedup:bool -> Dag.t -> string
+(** A [digraph] with one node per task (labelled by the task label, plus the
+    speedup model when [show_speedup]). *)

@@ -1,0 +1,16 @@
+(** ASCII Gantt charts of schedules, used to render the schedule shapes of
+    Figures 2 and 4 in the terminal.
+
+    Rows are processors (down-sampled when [P] exceeds [max_rows]), columns
+    are time bins; each cell shows the glyph of the task occupying that
+    processor at that time ('.' when idle).  Tasks are assigned glyphs
+    cyclically from a 62-character alphabet; a legend maps glyphs back to
+    task labels. *)
+
+open Moldable_sim
+
+val render :
+  ?width:int -> ?max_rows:int -> ?legend:bool -> ?label:(int -> string) ->
+  Schedule.t -> string
+(** [width] time bins (default 100), [max_rows] processor rows (default 40).
+    [label] maps task ids to names for the legend (default ["t<id>"]). *)

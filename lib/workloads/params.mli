@@ -1,0 +1,37 @@
+(** Random speedup-parameter generation.
+
+    The paper evaluates no concrete workloads (its evaluation is analytic);
+    these distributions realize the "realistic workflows" its conclusion
+    calls for.  Work spans orders of magnitude (log-uniform), the sequential
+    fraction and the communication overhead are drawn as fractions of the
+    work, and the parallelism bound is log-uniform over [\[1, ptilde_max\]] —
+    the shapes commonly used in the moldable-scheduling literature. *)
+
+open Moldable_util
+open Moldable_model
+
+type spec = {
+  w_min : float;        (** Work, log-uniform in [\[w_min, w_max\]]. *)
+  w_max : float;
+  d_frac_min : float;   (** Sequential fraction of [w], log-uniform. *)
+  d_frac_max : float;
+  c_frac_min : float;   (** Communication overhead as a fraction of [w]. *)
+  c_frac_max : float;
+  ptilde_max : int;     (** Parallelism bound, log-uniform in [\[1, max\]]. *)
+  alpha_min : float;    (** Power-law exponent range (Kind_power only). *)
+  alpha_max : float;
+}
+
+val default : spec
+(** [w] in [\[1, 1000\]], [d] fraction in [\[1e-3, 0.3\]], [c] fraction in
+    [\[1e-4, 1e-2\]], [ptilde_max = 512], [alpha] in [\[0.5, 0.95\]]. *)
+
+val random : ?spec:spec -> Rng.t -> Speedup.kind -> Speedup.t
+(** Draws parameters for the given family.
+    @raise Invalid_argument for [Kind_arbitrary] (no canonical
+    distribution). *)
+
+val with_work : ?spec:spec -> Rng.t -> Speedup.kind -> w:float -> Speedup.t
+(** Like {!random} but with the work fixed by the caller (used by the
+    structured workflows, whose per-stage work is dictated by the
+    application); the remaining parameters are still drawn from [spec]. *)

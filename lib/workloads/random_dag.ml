@@ -1,0 +1,52 @@
+open Moldable_util
+open Moldable_model
+open Moldable_graph
+
+let make_tasks ?spec rng kind n =
+  List.init n (fun id -> Task.make ~id (Params.random ?spec rng kind))
+
+let layered ?spec ~rng ~n_layers ~width ~edge_prob ~kind () =
+  if n_layers < 1 || width < 1 then
+    invalid_arg "Random_dag.layered: need n_layers, width >= 1";
+  let sizes = Array.init n_layers (fun _ -> Rng.int_range rng 1 width) in
+  let n = Array.fold_left ( + ) 0 sizes in
+  let tasks = make_tasks ?spec rng kind n in
+  let offsets = Array.make n_layers 0 in
+  for l = 1 to n_layers - 1 do
+    offsets.(l) <- offsets.(l - 1) + sizes.(l - 1)
+  done;
+  let edges = ref [] in
+  let has_pred = Array.make n false in
+  for l = 0 to n_layers - 2 do
+    for i = 0 to sizes.(l) - 1 do
+      for j = 0 to sizes.(l + 1) - 1 do
+        if Rng.bernoulli rng edge_prob then begin
+          let tgt = offsets.(l + 1) + j in
+          edges := (offsets.(l) + i, tgt) :: !edges;
+          has_pred.(tgt) <- true
+        end
+      done
+    done;
+    (* Guarantee every next-layer task has a predecessor, keeping the depth
+       exactly n_layers. *)
+    for j = 0 to sizes.(l + 1) - 1 do
+      let tgt = offsets.(l + 1) + j in
+      if not has_pred.(tgt) then
+        edges := (offsets.(l) + Rng.int rng sizes.(l), tgt) :: !edges
+    done
+  done;
+  Dag.create ~tasks ~edges:!edges
+
+let erdos_renyi ?spec ~rng ~n ~edge_prob ~kind () =
+  if n < 1 then invalid_arg "Random_dag.erdos_renyi: need n >= 1";
+  let tasks = make_tasks ?spec rng kind n in
+  let edges = ref [] in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      if Rng.bernoulli rng edge_prob then edges := (i, j) :: !edges
+    done
+  done;
+  Dag.create ~tasks ~edges:!edges
+
+let independent ?spec ~rng ~n ~kind () =
+  Dag.create ~tasks:(make_tasks ?spec rng kind n) ~edges:[]

@@ -1,0 +1,25 @@
+(** Random task-graph generators. *)
+
+open Moldable_util
+open Moldable_model
+open Moldable_graph
+
+val layered :
+  ?spec:Params.spec -> rng:Rng.t -> n_layers:int -> width:int ->
+  edge_prob:float -> kind:Speedup.kind -> unit -> Dag.t
+(** Layer sizes uniform in [\[1, width\]]; each (consecutive-layer) pair gets
+    an edge with probability [edge_prob]; every non-first-layer task is
+    given at least one predecessor in the previous layer so depth is exactly
+    [n_layers]. *)
+
+val erdos_renyi :
+  ?spec:Params.spec -> rng:Rng.t -> n:int -> edge_prob:float ->
+  kind:Speedup.kind -> unit -> Dag.t
+(** Each pair [(i, j)] with [i < j] gets an edge with probability
+    [edge_prob] — always acyclic. *)
+
+val independent :
+  ?spec:Params.spec -> rng:Rng.t -> n:int -> kind:Speedup.kind -> unit ->
+  Dag.t
+(** [n] tasks, no edges: the independent-task special case studied by the
+    related work of Section 2. *)

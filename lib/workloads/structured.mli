@@ -1,0 +1,33 @@
+(** Deterministic-structure graphs (speedups still drawn at random): the
+    special task-graph shapes the paper's conclusion names (fork-join
+    graphs, trees) plus chains and diamonds. *)
+
+open Moldable_util
+open Moldable_model
+open Moldable_graph
+
+val chain :
+  ?spec:Params.spec -> rng:Rng.t -> n:int -> kind:Speedup.kind -> unit ->
+  Dag.t
+(** A single linear chain of [n] tasks. *)
+
+val fork_join :
+  ?spec:Params.spec -> rng:Rng.t -> stages:int -> width:int ->
+  kind:Speedup.kind -> unit -> Dag.t
+(** [stages] repetitions of fork -> [width] parallel tasks -> join; the join
+    of one stage is the fork of the next. *)
+
+val out_tree :
+  ?spec:Params.spec -> rng:Rng.t -> depth:int -> branching:int ->
+  kind:Speedup.kind -> unit -> Dag.t
+(** Complete rooted tree, edges pointing away from the root. *)
+
+val in_tree :
+  ?spec:Params.spec -> rng:Rng.t -> depth:int -> branching:int ->
+  kind:Speedup.kind -> unit -> Dag.t
+(** Complete tree with edges pointing toward the root (a reduction). *)
+
+val diamond :
+  ?spec:Params.spec -> rng:Rng.t -> width:int -> kind:Speedup.kind ->
+  unit -> Dag.t
+(** Source -> [width] parallel tasks -> sink. *)

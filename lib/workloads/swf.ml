@@ -1,0 +1,109 @@
+open Moldable_util
+open Moldable_model
+open Moldable_graph
+
+type job = { id : int; submit : float; run_time : float; procs : int }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let jobs = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun lineno line ->
+      if !error = None then begin
+        let line = String.trim line in
+        if line <> "" && line.[0] <> ';' then begin
+          let fields =
+            List.filter (fun s -> s <> "")
+              (String.split_on_char ' '
+                 (String.map (function '\t' -> ' ' | c -> c) line))
+          in
+          match fields with
+          | id :: submit :: _wait :: run :: procs :: _rest -> (
+            match
+              ( int_of_string_opt id,
+                float_of_string_opt submit,
+                float_of_string_opt run,
+                int_of_string_opt procs )
+            with
+            | Some id, Some submit, Some run_time, Some procs ->
+              if run_time > 0. && procs >= 1 && submit >= 0. then
+                jobs := { id; submit; run_time; procs } :: !jobs
+              (* else: cancelled or malformed entry, skipped by convention *)
+            | _ ->
+              error :=
+                Some (Printf.sprintf "line %d: unparsable fields" (lineno + 1)))
+          | _ ->
+            error :=
+              Some
+                (Printf.sprintf "line %d: fewer than 5 fields" (lineno + 1))
+        end
+      end)
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None -> Ok (List.rev !jobs)
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let to_swf_string jobs =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "; SWF written by moldable\n";
+  Buffer.add_string buf "; fields: id submit wait run procs (rest = -1)\n";
+  List.iter
+    (fun j ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %.2f -1 %.2f %d -1 -1 %d %.2f -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+           j.id j.submit j.run_time j.procs j.procs j.run_time))
+    jobs;
+  Buffer.contents buf
+
+let synthetic ~rng ~n ~mean_interarrival ~max_procs =
+  if n < 1 then invalid_arg "Swf.synthetic: need n >= 1";
+  if max_procs < 1 then invalid_arg "Swf.synthetic: need max_procs >= 1";
+  let now = ref 0. in
+  List.init n (fun i ->
+      now := !now +. Rng.exponential rng mean_interarrival;
+      let procs =
+        (* Power-of-two-leaning widths, as in real logs. *)
+        if Rng.bernoulli rng 0.7 then begin
+          let max_log = int_of_float (log (float_of_int max_procs) /. log 2.) in
+          min max_procs (1 lsl Rng.int_range rng 0 (max 0 max_log))
+        end
+        else Rng.int_range rng 1 max_procs
+      in
+      {
+        id = i + 1;
+        submit = !now;
+        run_time = Rng.log_uniform rng 30. 28_800.;
+        procs;
+      })
+
+let to_workload ?(model = `Roofline) ~rng jobs =
+  if jobs = [] then invalid_arg "Swf.to_workload: empty job list";
+  let jobs = Array.of_list jobs in
+  let t0_offset = Array.fold_left (fun m j -> Float.min m j.submit) infinity jobs in
+  let tasks =
+    Array.to_list
+      (Array.mapi
+         (fun idx j ->
+           let q0 = float_of_int j.procs in
+           let speedup =
+             match model with
+             | `Roofline ->
+               Speedup.Roofline { w = j.run_time *. q0; ptilde = j.procs }
+             | `Amdahl (f_lo, f_hi) ->
+               let f = Rng.float_range rng f_lo f_hi in
+               (* Solve w/q0 + d = t0 with d = f * t0. *)
+               let d = Float.max 1e-9 (f *. j.run_time) in
+               let w = Float.max 1e-9 ((1. -. f) *. j.run_time *. q0) in
+               Speedup.Amdahl { w; d }
+           in
+           Task.make ~label:(Printf.sprintf "job%d" j.id) ~id:idx speedup)
+         jobs)
+  in
+  let releases = Array.map (fun j -> j.submit -. t0_offset) jobs in
+  (Dag.create ~tasks ~edges:[], releases)

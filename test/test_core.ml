@@ -1,0 +1,378 @@
+open Moldable_model
+open Moldable_graph
+open Moldable_sim
+open Moldable_core
+open Moldable_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let task m = Task.make ~id:0 m
+let roofline ~w ~ptilde = Speedup.Roofline { w; ptilde }
+let comm ~w ~c = Speedup.Communication { w; c }
+let amdahl ~w ~d = Speedup.Amdahl { w; d }
+
+(* -------------------------------------------------------------------- Mu *)
+
+let test_mu_max_value () =
+  check_float "(3-sqrt5)/2" ((3. -. sqrt 5.) /. 2.) Mu.mu_max
+
+let test_delta_at_mu_max () =
+  (* delta(mu_max) = 1 by construction (beta >= 1 must be feasible). *)
+  Alcotest.(check (float 1e-9)) "delta = 1" 1. (Mu.delta Mu.mu_max)
+
+let test_delta_monotone () =
+  (* delta decreases as mu increases. *)
+  Alcotest.(check bool) "decreasing" true
+    (Mu.delta 0.2 > Mu.delta 0.3 && Mu.delta 0.3 > Mu.delta 0.38)
+
+let test_delta_rejects () =
+  Alcotest.(check bool) "mu = 0 rejected" true
+    (try ignore (Mu.delta 0.); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "mu = 0.5 rejected" true
+    (try ignore (Mu.delta 0.5); false with Invalid_argument _ -> true)
+
+let test_mu_defaults_admissible () =
+  List.iter
+    (fun kind ->
+      let mu = Mu.default kind in
+      Alcotest.(check bool)
+        (Speedup.kind_name kind ^ " admissible")
+        true
+        (mu > 0. && mu <= Mu.mu_max +. 1e-9 && Mu.delta mu >= 1. -. 1e-9))
+    [ Speedup.Kind_roofline; Speedup.Kind_communication; Speedup.Kind_amdahl;
+      Speedup.Kind_general; Speedup.Kind_arbitrary ]
+
+let test_cap () =
+  Alcotest.(check int) "ceil(0.382*100)" 39 (Mu.cap ~mu:0.382 ~p:100);
+  Alcotest.(check int) "at least 1" 1 (Mu.cap ~mu:0.01 ~p:3);
+  Alcotest.(check int) "exact integer" 25 (Mu.cap ~mu:0.25 ~p:100)
+
+(* ------------------------------------------------------------- Allocator *)
+
+let test_initial_respects_beta () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 200 do
+    let w = Rng.log_uniform rng 1. 1000. in
+    let m =
+      match Rng.int rng 3 with
+      | 0 -> roofline ~w ~ptilde:(Rng.int_range rng 1 64)
+      | 1 -> comm ~w ~c:(Rng.log_uniform rng 0.01 2.)
+      | _ -> amdahl ~w ~d:(Rng.log_uniform rng 0.01 2.)
+    in
+    let p = Rng.int_range rng 1 256 in
+    let mu = Rng.float_range rng 0.05 Mu.mu_max in
+    let t = task m in
+    let q = Allocator.initial ~mu ~p t in
+    let a = Task.analyze ~p t in
+    let beta = Task.beta a q in
+    if not (Fcmp.leq ~eps:1e-6 beta (Mu.delta mu)) then
+      Alcotest.failf "beta %.4f > delta %.4f for %s (P=%d, mu=%.3f)" beta
+        (Mu.delta mu) (Speedup.to_string m) p mu
+  done
+
+let test_initial_minimizes_alpha () =
+  (* Exhaustive check on small instances: no feasible allocation has smaller
+     area. *)
+  let rng = Rng.create 4 in
+  for _ = 1 to 100 do
+    let m =
+      match Rng.int rng 3 with
+      | 0 -> roofline ~w:(Rng.log_uniform rng 1. 100.) ~ptilde:(Rng.int_range rng 1 16)
+      | 1 -> comm ~w:(Rng.log_uniform rng 1. 100.) ~c:(Rng.log_uniform rng 0.05 2.)
+      | _ -> amdahl ~w:(Rng.log_uniform rng 1. 100.) ~d:(Rng.log_uniform rng 0.05 2.)
+    in
+    let p = Rng.int_range rng 1 32 in
+    let mu = Rng.float_range rng 0.05 Mu.mu_max in
+    let t = task m in
+    let a = Task.analyze ~p t in
+    let bound = Mu.delta mu *. a.Task.t_min in
+    let q = Allocator.initial ~mu ~p t in
+    for q' = 1 to a.Task.p_max do
+      if Fcmp.leq (Task.time t q') bound && Fcmp.lt (Task.area t q') (Task.area t q)
+      then
+        Alcotest.failf
+          "allocation %d (area %.3f) beaten by %d (area %.3f) for %s" q
+          (Task.area t q) q' (Task.area t q') (Speedup.to_string m)
+    done
+  done
+
+(* A roofline task with constant area forces the initial allocation above the
+   cap; Step 2 must reduce it to ceil(mu P). *)
+let test_algorithm2_cap () =
+  let p = 100 in
+  let mu = Mu.default Speedup.Kind_roofline in
+  let t = task (roofline ~w:100. ~ptilde:100) in
+  let q = (Allocator.algorithm2 ~mu).Allocator.allocate ~p t in
+  Alcotest.(check int) "capped at ceil(mu P)" (Mu.cap ~mu ~p) q
+
+let test_algorithm2_small_tasks_uncapped () =
+  (* A sequential-ish task keeps its small allocation. *)
+  let p = 100 in
+  let mu = 0.3 in
+  let t = task (roofline ~w:5. ~ptilde:2) in
+  let q = (Allocator.algorithm2 ~mu).Allocator.allocate ~p t in
+  Alcotest.(check int) "keeps 2" 2 q
+
+let test_no_cap_ablation () =
+  let p = 100 in
+  let mu = Mu.default Speedup.Kind_roofline in
+  let t = task (roofline ~w:100. ~ptilde:100) in
+  let capped = (Allocator.algorithm2 ~mu).Allocator.allocate ~p t in
+  let uncapped = (Allocator.no_cap ~mu).Allocator.allocate ~p t in
+  Alcotest.(check bool) "no_cap exceeds cap" true (uncapped > capped)
+
+let test_trivial_allocators () =
+  let p = 64 in
+  let t = task (amdahl ~w:100. ~d:1.) in
+  Alcotest.(check int) "sequential" 1 (Allocator.sequential.Allocator.allocate ~p t);
+  Alcotest.(check int) "all_p" p (Allocator.all_p.Allocator.allocate ~p t);
+  Alcotest.(check int) "min_time = p_max" 64
+    (Allocator.min_time.Allocator.allocate ~p t);
+  Alcotest.(check int) "fixed clamped" p ((Allocator.fixed 1000).Allocator.allocate ~p t)
+
+let test_arbitrary_allocator_scan () =
+  (* W-shaped time: feasible minima exist at several points; the scan must
+     pick the smallest-area feasible one. *)
+  let time p = [| 10.; 4.; 6.; 3.; 9. |].(min (p - 1) 4) in
+  let t = task (Speedup.Arbitrary { name = "w-shape"; time }) in
+  (* p_max = 4 (t = 3 minimum), a_min over 1..4: areas 10, 8, 18, 12 -> 8. *)
+  let q = Allocator.initial ~mu:0.2 ~p:5 t in
+  (* delta(0.2) = 3.75, bound = 3.75 * 3 = 11.25: feasible p: t(p) <= 11.25
+     -> {1(10),2(4),3(6),4(3)}; smallest area feasible = p=2 (area 8). *)
+  Alcotest.(check int) "scan picks min-area feasible" 2 q
+
+let test_per_model_allocator_uses_model_mu () =
+  let p = 1000 in
+  let t_roof = task (roofline ~w:1000. ~ptilde:1000) in
+  let t_amd = Task.make ~id:1 (amdahl ~w:1000. ~d:0.5) in
+  let q_roof = Allocator.algorithm2_per_model.Allocator.allocate ~p t_roof in
+  let q_amd = Allocator.algorithm2_per_model.Allocator.allocate ~p t_amd in
+  Alcotest.(check int) "roofline cap" (Mu.cap ~mu:(Mu.default Speedup.Kind_roofline) ~p) q_roof;
+  Alcotest.(check bool) "amdahl allocation bounded by its cap" true
+    (q_amd <= Mu.cap ~mu:(Mu.default Speedup.Kind_amdahl) ~p)
+
+let prop_algorithm2_within_bounds =
+  QCheck.Test.make ~name:"algorithm2 allocation always in [1, min(p_max, cap)]"
+    ~count:300
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let kind =
+        Rng.choose rng
+          [| Speedup.Kind_roofline; Speedup.Kind_communication;
+             Speedup.Kind_amdahl; Speedup.Kind_general |]
+      in
+      let m = Moldable_workloads.Params.random rng kind in
+      let p = Rng.int_range rng 1 512 in
+      let mu = Rng.float_range rng 0.05 Mu.mu_max in
+      let t = task m in
+      let q = (Allocator.algorithm2 ~mu).Allocator.allocate ~p t in
+      let a = Task.analyze ~p t in
+      q >= 1 && q <= Mu.cap ~mu ~p && q <= a.Task.p_max)
+
+(* -------------------------------------------------------------- Priority *)
+
+let item ~id ~alloc ~t_min ~seq =
+  {
+    Priority.task = Task.make ~id (roofline ~w:t_min ~ptilde:1);
+    alloc;
+    t_min;
+    seq;
+  }
+
+let test_fifo_order () =
+  let a = item ~id:0 ~alloc:1 ~t_min:5. ~seq:0 in
+  let b = item ~id:1 ~alloc:9 ~t_min:1. ~seq:1 in
+  Alcotest.(check bool) "arrival order" true (Priority.fifo.Priority.compare a b < 0)
+
+let test_longest_first () =
+  let a = item ~id:0 ~alloc:1 ~t_min:1. ~seq:0 in
+  let b = item ~id:1 ~alloc:1 ~t_min:9. ~seq:1 in
+  Alcotest.(check bool) "longer first" true
+    (Priority.longest_first.Priority.compare b a < 0)
+
+let test_widest_narrowest () =
+  let a = item ~id:0 ~alloc:2 ~t_min:1. ~seq:0 in
+  let b = item ~id:1 ~alloc:7 ~t_min:1. ~seq:1 in
+  Alcotest.(check bool) "widest" true (Priority.widest_first.Priority.compare b a < 0);
+  Alcotest.(check bool) "narrowest" true
+    (Priority.narrowest_first.Priority.compare a b < 0)
+
+let test_priority_tiebreak_stable () =
+  let a = item ~id:0 ~alloc:3 ~t_min:4. ~seq:0 in
+  let b = item ~id:1 ~alloc:3 ~t_min:4. ~seq:1 in
+  List.iter
+    (fun (p : Priority.t) ->
+      Alcotest.(check bool) (p.Priority.name ^ " stable") true
+        (p.Priority.compare a b < 0))
+    Priority.all
+
+(* ------------------------------------------------------ Online scheduler *)
+
+let simple_dag tasks edges = Dag.create ~tasks ~edges
+
+let test_online_respects_fifo () =
+  (* Three independent 1-proc tasks on 2 processors: FIFO starts 0 and 1
+     first; task 2 waits. *)
+  let tasks =
+    List.init 3 (fun id -> Task.make ~id (roofline ~w:2. ~ptilde:1))
+  in
+  let dag = simple_dag tasks [] in
+  let r =
+    Online_scheduler.run ~allocator:Allocator.sequential ~p:2 dag
+  in
+  Validate.check_exn ~dag r.Engine.schedule;
+  let pl = Schedule.placement r.Engine.schedule 2 in
+  check_float "task 2 starts second wave" 2. pl.Schedule.start
+
+let test_online_list_scheduling_skips () =
+  (* Queue: [wide; narrow]; only the narrow one fits -> list scheduling must
+     skip the wide head and start the narrow task. *)
+  let wide = Task.make ~id:0 (roofline ~w:4. ~ptilde:4) in
+  let narrow = Task.make ~id:1 (roofline ~w:2. ~ptilde:1) in
+  let blocker = Task.make ~id:2 (roofline ~w:3. ~ptilde:3) in
+  (* Blocker occupies 3 of 4 procs; ids order the queue as wide then narrow. *)
+  let dag = simple_dag [ wide; narrow; blocker ] [] in
+  let r = Online_scheduler.run ~allocator:Allocator.min_time ~p:4 dag in
+  Validate.check_exn ~dag r.Engine.schedule;
+  (* blocker (id 2) is third in FIFO yet starts at 0 because wide (4 procs)
+     fits first; verify narrow also starts at 0 by skipping. *)
+  let s0 = (Schedule.placement r.Engine.schedule 0).Schedule.start in
+  let s1 = (Schedule.placement r.Engine.schedule 1).Schedule.start in
+  let s2 = (Schedule.placement r.Engine.schedule 2).Schedule.start in
+  check_float "wide starts immediately" 0. s0;
+  Alcotest.(check bool) "narrow or blocker fills the gap" true
+    (s1 = 1. || s2 = 1. || s1 = 0. || s2 = 0.)
+
+let test_online_priority_changes_order () =
+  (* Two tasks; longest-first runs the long one first on a single procesor. *)
+  let short = Task.make ~id:0 (roofline ~w:1. ~ptilde:1) in
+  let long_ = Task.make ~id:1 (roofline ~w:9. ~ptilde:1) in
+  let dag = simple_dag [ short; long_ ] [] in
+  let r =
+    Online_scheduler.run ~priority:Priority.longest_first
+      ~allocator:Allocator.sequential ~p:1 dag
+  in
+  let s_long = (Schedule.placement r.Engine.schedule 1).Schedule.start in
+  check_float "long first" 0. s_long
+
+let test_online_makespan_helper () =
+  let tasks = List.init 2 (fun id -> Task.make ~id (roofline ~w:2. ~ptilde:2)) in
+  let dag = simple_dag tasks [ (0, 1) ] in
+  check_float "helper agrees"
+    (Schedule.makespan
+       (Online_scheduler.run ~allocator:Allocator.min_time ~p:2 dag)
+         .Engine.schedule)
+    (Online_scheduler.makespan ~allocator:Allocator.min_time ~p:2 dag)
+
+(* ------------------------------------------------------------- Baselines *)
+
+let test_all_p_serializes () =
+  let tasks = List.init 3 (fun id -> Task.make ~id (amdahl ~w:4. ~d:1.)) in
+  let dag = simple_dag tasks [] in
+  let r = Baselines.run (fun ~p -> Baselines.all_p_list ~p) ~p:4 dag in
+  Validate.check_exn ~dag r.Engine.schedule;
+  check_float "3 * (4/4 + 1)" 6. (Schedule.makespan r.Engine.schedule)
+
+let test_sequential_baseline () =
+  let tasks = List.init 4 (fun id -> Task.make ~id (roofline ~w:2. ~ptilde:8)) in
+  let dag = simple_dag tasks [] in
+  let r = Baselines.run (fun ~p -> Baselines.sequential_list ~p) ~p:4 dag in
+  check_float "all parallel on 1 proc each" 2.
+    (Schedule.makespan r.Engine.schedule)
+
+let test_ect_uses_free_processors () =
+  (* One task, plenty of processors: ECT gives it min(p_max, free) = p_max. *)
+  let dag = simple_dag [ Task.make ~id:0 (roofline ~w:8. ~ptilde:4) ] [] in
+  let r = Baselines.run (fun ~p -> Baselines.ect ~p) ~p:16 dag in
+  let pl = Schedule.placement r.Engine.schedule 0 in
+  Alcotest.(check int) "p_max procs" 4 pl.Schedule.nprocs
+
+let test_ect_shrinks_to_fit () =
+  (* Two big tasks on 4 procs: the second gets the leftover single proc...
+     actually ECT pops the head and allocates min(p_max, free) right away. *)
+  let tasks = List.init 2 (fun id -> Task.make ~id (amdahl ~w:4. ~d:1.)) in
+  let dag = simple_dag tasks [] in
+  let r = Baselines.run (fun ~p -> Baselines.ect ~p) ~p:4 dag in
+  Validate.check_exn ~dag r.Engine.schedule;
+  let p0 = (Schedule.placement r.Engine.schedule 0).Schedule.nprocs in
+  let p1 = (Schedule.placement r.Engine.schedule 1).Schedule.nprocs in
+  Alcotest.(check int) "first takes all" 4 p0;
+  Alcotest.(check bool) "second waited or shrank" true (p1 >= 1 && p1 <= 4)
+
+let prop_all_policies_valid =
+  QCheck.Test.make ~name:"all baseline schedules validate on random DAGs"
+    ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let dag =
+        Moldable_workloads.Random_dag.erdos_renyi ~rng ~n:20 ~edge_prob:0.15
+          ~kind:Speedup.Kind_general ()
+      in
+      let p = Rng.int_range rng 2 32 in
+      List.for_all
+        (fun (_, make) ->
+          let r = Baselines.run make ~p dag in
+          Result.is_ok (Validate.check ~dag r.Engine.schedule))
+        Baselines.named)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "core"
+    [
+      ( "mu",
+        [
+          Alcotest.test_case "mu_max value" `Quick test_mu_max_value;
+          Alcotest.test_case "delta at mu_max" `Quick test_delta_at_mu_max;
+          Alcotest.test_case "delta monotone" `Quick test_delta_monotone;
+          Alcotest.test_case "delta rejects" `Quick test_delta_rejects;
+          Alcotest.test_case "defaults admissible" `Quick
+            test_mu_defaults_admissible;
+          Alcotest.test_case "cap" `Quick test_cap;
+        ] );
+      ( "allocator",
+        [
+          Alcotest.test_case "initial respects beta constraint" `Quick
+            test_initial_respects_beta;
+          Alcotest.test_case "initial minimizes alpha" `Quick
+            test_initial_minimizes_alpha;
+          Alcotest.test_case "cap applied" `Quick test_algorithm2_cap;
+          Alcotest.test_case "small tasks uncapped" `Quick
+            test_algorithm2_small_tasks_uncapped;
+          Alcotest.test_case "no_cap ablation" `Quick test_no_cap_ablation;
+          Alcotest.test_case "trivial allocators" `Quick test_trivial_allocators;
+          Alcotest.test_case "arbitrary-model scan" `Quick
+            test_arbitrary_allocator_scan;
+          Alcotest.test_case "per-model mu" `Quick
+            test_per_model_allocator_uses_model_mu;
+          qt prop_algorithm2_within_bounds;
+        ] );
+      ( "priority",
+        [
+          Alcotest.test_case "fifo" `Quick test_fifo_order;
+          Alcotest.test_case "longest first" `Quick test_longest_first;
+          Alcotest.test_case "widest/narrowest" `Quick test_widest_narrowest;
+          Alcotest.test_case "stable tiebreak" `Quick
+            test_priority_tiebreak_stable;
+        ] );
+      ( "online_scheduler",
+        [
+          Alcotest.test_case "fifo waves" `Quick test_online_respects_fifo;
+          Alcotest.test_case "list scheduling skips" `Quick
+            test_online_list_scheduling_skips;
+          Alcotest.test_case "priority changes order" `Quick
+            test_online_priority_changes_order;
+          Alcotest.test_case "makespan helper" `Quick test_online_makespan_helper;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "all-P serializes" `Quick test_all_p_serializes;
+          Alcotest.test_case "sequential parallelism" `Quick
+            test_sequential_baseline;
+          Alcotest.test_case "ECT takes p_max" `Quick
+            test_ect_uses_free_processors;
+          Alcotest.test_case "ECT adapts" `Quick test_ect_shrinks_to_fit;
+          qt prop_all_policies_valid;
+        ] );
+    ]

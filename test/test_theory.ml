@@ -1,0 +1,270 @@
+open Moldable_theory
+open Moldable_core
+open Moldable_model
+
+let check_float eps = Alcotest.(check (float eps))
+
+(* ----------------------------------------------------------------- Ratio *)
+
+let test_competitive_roofline_formula () =
+  (* alpha = 1: ratio = 1/mu. *)
+  let mu = Mu.mu_max in
+  check_float 1e-9 "1/mu" (1. /. mu) (Ratio.competitive ~mu ~alpha:1.)
+
+let test_competitive_increases_with_alpha () =
+  Alcotest.(check bool) "monotone in alpha" true
+    (Ratio.competitive ~mu:0.3 ~alpha:2. > Ratio.competitive ~mu:0.3 ~alpha:1.)
+
+let test_beta_feasible () =
+  Alcotest.(check bool) "beta 1 ok at mu_max" true
+    (Ratio.beta_feasible ~mu:Mu.mu_max ~beta:1.);
+  Alcotest.(check bool) "beta 2 infeasible at mu_max" false
+    (Ratio.beta_feasible ~mu:Mu.mu_max ~beta:2.)
+
+let test_mu_admissible () =
+  Alcotest.(check bool) "0.3" true (Ratio.mu_admissible 0.3);
+  Alcotest.(check bool) "0.5" false (Ratio.mu_admissible 0.5);
+  Alcotest.(check bool) "0" false (Ratio.mu_admissible 0.)
+
+(* ---------------------------------------------------- Model_bounds: Table 1 *)
+
+let find_row family rows =
+  List.find (fun (r : Model_bounds.row) -> r.Model_bounds.family = family) rows
+
+let table1 = lazy (Model_bounds.table1_upper ())
+
+let test_table1_roofline () =
+  let r = find_row Model_bounds.Roofline (Lazy.force table1) in
+  (* Theorem 1: (3+sqrt 5)/2 ~ 2.618 at mu = (3-sqrt 5)/2. *)
+  check_float 1e-3 "ratio" ((3. +. sqrt 5.) /. 2.) r.Model_bounds.ratio;
+  check_float 1e-3 "mu*" ((3. -. sqrt 5.) /. 2.) r.Model_bounds.mu_star
+
+let test_table1_communication () =
+  let r = find_row Model_bounds.Communication (Lazy.force table1) in
+  (* Theorem 2: at most 3.61, at mu* ~ 0.324, x* ~ 0.446. *)
+  Alcotest.(check bool) "<= 3.61" true (r.Model_bounds.ratio <= 3.61);
+  check_float 5e-3 "~3.605" 3.605 r.Model_bounds.ratio;
+  check_float 5e-3 "mu*" 0.324 r.Model_bounds.mu_star;
+  check_float 5e-3 "x*" 0.446 r.Model_bounds.x_star_value
+
+let test_table1_amdahl () =
+  let r = find_row Model_bounds.Amdahl (Lazy.force table1) in
+  Alcotest.(check bool) "<= 4.74" true (r.Model_bounds.ratio <= 4.74);
+  check_float 5e-3 "~4.731" 4.731 r.Model_bounds.ratio;
+  check_float 5e-3 "mu*" 0.271 r.Model_bounds.mu_star;
+  check_float 5e-3 "x*" 0.759 r.Model_bounds.x_star_value
+
+let test_table1_general () =
+  let r = find_row Model_bounds.General (Lazy.force table1) in
+  Alcotest.(check bool) "<= 5.72" true (r.Model_bounds.ratio <= 5.72);
+  check_float 5e-3 "~5.714" 5.714 r.Model_bounds.ratio;
+  check_float 5e-3 "mu*" 0.211 r.Model_bounds.mu_star;
+  check_float 5e-3 "x*" 1.972 r.Model_bounds.x_star_value
+
+let test_mu_defaults_match_optima () =
+  (* The hard-coded defaults in Core.Mu must agree with the recomputed
+     optima to ~1e-3. *)
+  let pairs =
+    [
+      (Model_bounds.Roofline, Speedup.Kind_roofline);
+      (Model_bounds.Communication, Speedup.Kind_communication);
+      (Model_bounds.Amdahl, Speedup.Kind_amdahl);
+      (Model_bounds.General, Speedup.Kind_general);
+    ]
+  in
+  List.iter
+    (fun (family, kind) ->
+      let r = find_row family (Lazy.force table1) in
+      check_float 2e-3
+        (Model_bounds.family_name family)
+        (Mu.default kind) r.Model_bounds.mu_star)
+    pairs
+
+let test_amdahl_explicit_objective () =
+  (* The generic pipeline must agree with the explicit f(mu) of Theorem 3. *)
+  List.iter
+    (fun mu ->
+      check_float 1e-6
+        (Printf.sprintf "f(%.2f)" mu)
+        (Model_bounds.amdahl_f mu)
+        (Model_bounds.upper_bound_at Model_bounds.Amdahl ~mu))
+    [ 0.15; 0.2; 0.25; 0.271; 0.3; 0.35 ]
+
+let test_x_star_satisfies_constraint () =
+  (* beta at x_star equals delta(mu): the constraint binds at the optimum. *)
+  List.iter
+    (fun (family, mu) ->
+      match Model_bounds.x_star family ~mu with
+      | None -> Alcotest.fail "expected feasible x*"
+      | Some x ->
+        check_float 1e-6
+          (Model_bounds.family_name family)
+          (Mu.delta mu)
+          (Model_bounds.beta_of_x family x))
+    [
+      (Model_bounds.Communication, 0.3239);
+      (Model_bounds.Amdahl, 0.2710);
+      (Model_bounds.General, 0.2113);
+    ]
+
+let test_x_star_infeasible_mu () =
+  (* Near mu_max, delta -> 1 and the communication/general constraints
+     cannot be met. *)
+  Alcotest.(check bool) "comm infeasible" true
+    (Model_bounds.x_star Model_bounds.Communication ~mu:0.38 = None);
+  Alcotest.(check bool) "general infeasible" true
+    (Model_bounds.x_star Model_bounds.General ~mu:0.38 = None);
+  Alcotest.(check bool) "upper bound infinite" true
+    (Model_bounds.upper_bound_at Model_bounds.General ~mu:0.38 = infinity)
+
+let test_lemma7_alpha_beta_validity_range () =
+  (* Lemma 7 requires alpha_x >= 4/3 and beta_x >= 3/2 on the allowed
+     x-range so Case 1 is covered. *)
+  let lo = (sqrt 13. -. 1.) /. 6. and hi = 0.5 in
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "alpha >= 4/3" true
+        (Model_bounds.alpha_of_x Model_bounds.Communication x
+        >= (4. /. 3.) -. 1e-9);
+      Alcotest.(check bool) "beta >= 3/2" true
+        (Model_bounds.beta_of_x Model_bounds.Communication x >= 1.5 -. 1e-9))
+    [ lo; (lo +. hi) /. 2.; hi ]
+
+(* ---------------------------------------------------- Lower_bounds: Table 1 *)
+
+let test_lower_bounds_match_paper () =
+  List.iter
+    (fun (r : Lower_bounds.row) ->
+      let name = Model_bounds.family_name r.Lower_bounds.family in
+      Alcotest.(check bool)
+        (name ^ " >= paper bound")
+        true
+        (r.Lower_bounds.bound >= r.Lower_bounds.paper_bound -. 5e-3);
+      Alcotest.(check bool)
+        (name ^ " close to paper")
+        true
+        (Float.abs (r.Lower_bounds.bound -. r.Lower_bounds.paper_bound) < 0.02))
+    (Lower_bounds.table1_lower ())
+
+let test_lower_below_upper () =
+  let uppers = Lazy.force table1 in
+  List.iter
+    (fun (r : Lower_bounds.row) ->
+      let u = find_row r.Lower_bounds.family uppers in
+      Alcotest.(check bool)
+        (Model_bounds.family_name r.Lower_bounds.family)
+        true
+        (* Amdahl's bounds are tight to ~1e-3 of each other (4.73 vs 4.74 in
+           the paper), so allow a small slack. *)
+        (r.Lower_bounds.bound <= u.Model_bounds.ratio +. 5e-3))
+    (Lower_bounds.table1_lower ())
+
+let test_roofline_lb_equals_ub () =
+  (* Theorem 5's bound is exactly 1/mu — tight against Theorem 1. *)
+  let mu = Mu.mu_max in
+  check_float 1e-9 "tight" (1. /. mu) (Lower_bounds.roofline ~mu)
+
+(* ------------------------------------------------------------ Arbitrary_lb *)
+
+let test_params_ell2 () =
+  let p = Arbitrary_lb.params ~ell:2 in
+  Alcotest.(check int) "K" 4 p.Arbitrary_lb.k;
+  Alcotest.(check int) "chains" 15 p.Arbitrary_lb.n_chains;
+  Alcotest.(check int) "tasks" 26 p.Arbitrary_lb.n_tasks;
+  Alcotest.(check int) "P" 32 p.Arbitrary_lb.p
+
+let test_params_ell3 () =
+  let p = Arbitrary_lb.params ~ell:3 in
+  Alcotest.(check int) "K" 8 p.Arbitrary_lb.k;
+  Alcotest.(check int) "chains" 255 p.Arbitrary_lb.n_chains;
+  Alcotest.(check int) "P" 1024 p.Arbitrary_lb.p
+
+let test_exec_time_values () =
+  check_float 1e-9 "t(1)" 1. (Arbitrary_lb.exec_time 1);
+  check_float 1e-9 "t(2)" 0.5 (Arbitrary_lb.exec_time 2);
+  check_float 1e-9 "t(4)" (1. /. 3.) (Arbitrary_lb.exec_time 4);
+  check_float 1e-9 "t(8)" 0.25 (Arbitrary_lb.exec_time 8)
+
+let test_gap_sum_vs_log () =
+  for ell = 1 to 5 do
+    Alcotest.(check bool)
+      (Printf.sprintf "ell=%d" ell)
+      true
+      (Arbitrary_lb.adversary_gap_sum ~ell >= Arbitrary_lb.log_gap ~ell)
+  done
+
+let test_gap_grows_with_ell () =
+  Alcotest.(check bool) "Omega(ln D) growth" true
+    (Arbitrary_lb.adversary_gap_sum ~ell:4
+    > Arbitrary_lb.adversary_gap_sum ~ell:2)
+
+let test_params_invalid () =
+  Alcotest.(check bool) "ell=0 rejected" true
+    (try
+       ignore (Arbitrary_lb.params ~ell:0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "ell=6 rejected" true
+    (try
+       ignore (Arbitrary_lb.params ~ell:6);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_upper_bound_continuous_near_optimum =
+  QCheck.Test.make ~name:"upper bound within tolerance of optimum near mu*"
+    ~count:50
+    QCheck.(float_range (-0.005) 0.005)
+    (fun dmu ->
+      let mu_star, best = Model_bounds.optimize Model_bounds.Amdahl in
+      let mu = mu_star +. dmu in
+      if mu <= 0. || mu > Mu.mu_max then true
+      else Model_bounds.upper_bound_at Model_bounds.Amdahl ~mu >= best -. 1e-9)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "theory"
+    [
+      ( "ratio",
+        [
+          Alcotest.test_case "roofline formula" `Quick
+            test_competitive_roofline_formula;
+          Alcotest.test_case "monotone in alpha" `Quick
+            test_competitive_increases_with_alpha;
+          Alcotest.test_case "beta feasible" `Quick test_beta_feasible;
+          Alcotest.test_case "mu admissible" `Quick test_mu_admissible;
+        ] );
+      ( "table1_upper",
+        [
+          Alcotest.test_case "roofline 2.62" `Quick test_table1_roofline;
+          Alcotest.test_case "communication 3.61" `Quick
+            test_table1_communication;
+          Alcotest.test_case "amdahl 4.74" `Quick test_table1_amdahl;
+          Alcotest.test_case "general 5.72" `Quick test_table1_general;
+          Alcotest.test_case "Mu defaults match optima" `Quick
+            test_mu_defaults_match_optima;
+          Alcotest.test_case "amdahl explicit objective" `Quick
+            test_amdahl_explicit_objective;
+          Alcotest.test_case "x* binds the constraint" `Quick
+            test_x_star_satisfies_constraint;
+          Alcotest.test_case "infeasible mu" `Quick test_x_star_infeasible_mu;
+          Alcotest.test_case "Lemma 7 range covers Case 1" `Quick
+            test_lemma7_alpha_beta_validity_range;
+          qt prop_upper_bound_continuous_near_optimum;
+        ] );
+      ( "table1_lower",
+        [
+          Alcotest.test_case "match paper values" `Quick
+            test_lower_bounds_match_paper;
+          Alcotest.test_case "lower <= upper" `Quick test_lower_below_upper;
+          Alcotest.test_case "roofline tight" `Quick test_roofline_lb_equals_ub;
+        ] );
+      ( "arbitrary_lb",
+        [
+          Alcotest.test_case "params ell=2 (Figure 3)" `Quick test_params_ell2;
+          Alcotest.test_case "params ell=3" `Quick test_params_ell3;
+          Alcotest.test_case "exec time" `Quick test_exec_time_values;
+          Alcotest.test_case "gap sum >= log bound" `Quick test_gap_sum_vs_log;
+          Alcotest.test_case "gap grows" `Quick test_gap_grows_with_ell;
+          Alcotest.test_case "invalid params" `Quick test_params_invalid;
+        ] );
+    ]

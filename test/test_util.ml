@@ -1,0 +1,365 @@
+open Moldable_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ Fcmp *)
+
+let test_approx_exact () =
+  Alcotest.(check bool) "equal floats" true (Fcmp.approx 1.0 1.0)
+
+let test_approx_close () =
+  Alcotest.(check bool) "within eps" true (Fcmp.approx 1.0 (1.0 +. 1e-12))
+
+let test_approx_far () =
+  Alcotest.(check bool) "far apart" false (Fcmp.approx 1.0 1.001)
+
+let test_approx_relative () =
+  Alcotest.(check bool) "relative for large magnitudes" true
+    (Fcmp.approx 1e12 (1e12 +. 1.))
+
+let test_leq_strict () =
+  Alcotest.(check bool) "1 <= 2" true (Fcmp.leq 1. 2.);
+  Alcotest.(check bool) "2 <= 1 fails" false (Fcmp.leq 2. 1.)
+
+let test_leq_tolerant () =
+  Alcotest.(check bool) "slightly above still leq" true
+    (Fcmp.leq (1. +. 1e-12) 1.)
+
+let test_lt_gt () =
+  Alcotest.(check bool) "lt strict" true (Fcmp.lt 1. 2.);
+  Alcotest.(check bool) "lt of approx-equal is false" false
+    (Fcmp.lt 1. (1. +. 1e-13));
+  Alcotest.(check bool) "gt strict" true (Fcmp.gt 2. 1.)
+
+let test_clamp () =
+  check_float "below" 0. (Fcmp.clamp ~lo:0. ~hi:1. (-5.));
+  check_float "above" 1. (Fcmp.clamp ~lo:0. ~hi:1. 7.);
+  check_float "inside" 0.5 (Fcmp.clamp ~lo:0. ~hi:1. 0.5)
+
+let test_compare_approx () =
+  Alcotest.(check int) "equal" 0 (Fcmp.compare_approx 1. (1. +. 1e-13));
+  Alcotest.(check int) "less" (-1) (Fcmp.compare_approx 1. 2.);
+  Alcotest.(check int) "greater" 1 (Fcmp.compare_approx 2. 1.)
+
+(* ------------------------------------------------------------------- Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    Alcotest.(check bool) "in [0,10)" true (v >= 0 && v < 10)
+  done
+
+let test_rng_int_range_bounds () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_range rng 5 9 in
+    Alcotest.(check bool) "in [5,9]" true (v >= 5 && v <= 9)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 3.5 in
+    Alcotest.(check bool) "in [0,3.5)" true (v >= 0. && v < 3.5)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 13 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int64 a) in
+  let ys = List.init 20 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_rng_copy () =
+  let a = Rng.create 5 in
+  let _ = Rng.int64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.int64 a)
+    (Rng.int64 b)
+
+let test_rng_log_uniform_bounds () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.log_uniform rng 1. 100. in
+    Alcotest.(check bool) "in [1,100]" true (v >= 1. && v <= 100.)
+  done
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never true" false (Rng.bernoulli rng 0.)
+  done
+
+let test_rng_mean_uniform () =
+  let rng = Rng.create 23 in
+  let n = 20_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.float rng 1.
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 29 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let test_rng_invalid_args () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0));
+  Alcotest.check_raises "empty choose"
+    (Invalid_argument "Rng.choose: empty array") (fun () ->
+      ignore (Rng.choose rng [||]))
+
+(* ---------------------------------------------------------------- Pqueue *)
+
+let test_pqueue_order () =
+  let q = Pqueue.of_list ~cmp:compare [ 5; 3; 8; 1; 9; 2 ] in
+  Alcotest.(check (list int)) "sorted pops" [ 1; 2; 3; 5; 8; 9 ]
+    (Pqueue.to_sorted_list q)
+
+let test_pqueue_push_pop () =
+  let q = Pqueue.create ~cmp:compare in
+  Pqueue.push q 3;
+  Pqueue.push q 1;
+  Pqueue.push q 2;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Pqueue.peek q);
+  Alcotest.(check (option int)) "pop min" (Some 1) (Pqueue.pop q);
+  Alcotest.(check int) "length" 2 (Pqueue.length q)
+
+let test_pqueue_empty () =
+  let q = Pqueue.create ~cmp:compare in
+  Alcotest.(check bool) "is_empty" true (Pqueue.is_empty q);
+  Alcotest.(check (option int)) "pop empty" None (Pqueue.pop q);
+  Alcotest.check_raises "pop_exn empty"
+    (Invalid_argument "Pqueue.pop_exn: empty queue") (fun () ->
+      ignore (Pqueue.pop_exn q))
+
+let test_pqueue_duplicates () =
+  let q = Pqueue.of_list ~cmp:compare [ 2; 2; 1; 1 ] in
+  Alcotest.(check (list int)) "dups preserved" [ 1; 1; 2; 2 ]
+    (Pqueue.to_sorted_list q)
+
+let test_pqueue_clear () =
+  let q = Pqueue.of_list ~cmp:compare [ 1; 2 ] in
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q)
+
+let test_pqueue_custom_cmp () =
+  let q = Pqueue.of_list ~cmp:(fun a b -> compare b a) [ 1; 3; 2 ] in
+  Alcotest.(check (option int)) "max-heap" (Some 3) (Pqueue.pop q)
+
+let test_pqueue_to_sorted_nondestructive () =
+  let q = Pqueue.of_list ~cmp:compare [ 3; 1; 2 ] in
+  let _ = Pqueue.to_sorted_list q in
+  Alcotest.(check int) "length unchanged" 3 (Pqueue.length q)
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue sorts like List.sort" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let q = Pqueue.of_list ~cmp:compare xs in
+      Pqueue.to_sorted_list q = List.sort compare xs)
+
+(* -------------------------------------------------------------- Numerics *)
+
+let test_golden_quadratic () =
+  let x, fx =
+    Numerics.golden_section_min ~f:(fun x -> (x -. 2.) ** 2.) ~lo:0. ~hi:5. ()
+  in
+  Alcotest.(check (float 1e-6)) "argmin" 2. x;
+  Alcotest.(check (float 1e-9)) "min value" 0. fx
+
+let test_minimize_nonconvex () =
+  (* Two dips; global at x ~ 4.5. *)
+  let f x = Float.min ((x -. 1.) ** 2.) (((x -. 4.5) ** 2.) -. 0.5) in
+  let x, _ = Numerics.minimize ~f ~lo:0. ~hi:6. () in
+  Alcotest.(check (float 1e-3)) "global min found" 4.5 x
+
+let test_bisect_sqrt2 () =
+  let r = Numerics.bisect ~f:(fun x -> (x *. x) -. 2.) ~lo:0. ~hi:2. () in
+  Alcotest.(check (float 1e-9)) "sqrt 2" (sqrt 2.) r
+
+let test_bisect_no_sign_change () =
+  Alcotest.check_raises "same sign"
+    (Invalid_argument "Numerics.bisect: no sign change on interval")
+    (fun () -> ignore (Numerics.bisect ~f:(fun x -> x +. 10.) ~lo:0. ~hi:1. ()))
+
+let test_integer_argmin () =
+  Alcotest.(check int) "parabola" 7
+    (Numerics.integer_argmin ~f:(fun p -> float_of_int ((p - 7) * (p - 7)))
+       ~lo:1 ~hi:20)
+
+let test_integer_argmin_ties () =
+  Alcotest.(check int) "tie breaks small" 1
+    (Numerics.integer_argmin ~f:(fun _ -> 1.) ~lo:1 ~hi:10)
+
+let test_integer_argmin_unimodal () =
+  let f p = (100. /. float_of_int p) +. float_of_int p in
+  Alcotest.(check int) "unimodal matches exhaustive"
+    (Numerics.integer_argmin ~f ~lo:1 ~hi:1000)
+    (Numerics.integer_argmin_unimodal ~f ~lo:1 ~hi:1000)
+
+let test_harmonic () =
+  check_float "H_1" 1. (Numerics.harmonic 1);
+  check_float "H_4" (1. +. 0.5 +. (1. /. 3.) +. 0.25) (Numerics.harmonic 4);
+  check_float "H_0" 0. (Numerics.harmonic 0)
+
+let prop_golden_finds_vertex =
+  QCheck.Test.make ~name:"golden section finds quadratic vertex" ~count:100
+    QCheck.(float_range (-50.) 50.)
+    (fun v ->
+      let x, _ =
+        Numerics.golden_section_min
+          ~f:(fun x -> (x -. v) ** 2.)
+          ~lo:(v -. 10.) ~hi:(v +. 10.) ()
+      in
+      Float.abs (x -. v) < 1e-5)
+
+(* ----------------------------------------------------------------- Stats *)
+
+let test_stats_mean () = check_float "mean" 2. (Stats.mean [ 1.; 2.; 3. ])
+
+let test_stats_stddev () =
+  check_float "sd of constant" 0. (Stats.stddev [ 5.; 5.; 5. ]);
+  Alcotest.(check (float 1e-9)) "sd simple" 1.
+    (Stats.stddev [ 1.; 2.; 3. ])
+
+let test_stats_percentile () =
+  check_float "median" 2. (Stats.percentile 0.5 [ 3.; 1.; 2. ]);
+  check_float "min" 1. (Stats.percentile 0. [ 3.; 1.; 2. ]);
+  check_float "max" 3. (Stats.percentile 1. [ 3.; 1.; 2. ]);
+  check_float "interpolated" 1.5 (Stats.percentile 0.25 [ 1.; 2.; 3. ])
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 4.; 1.; 3.; 2. ] in
+  Alcotest.(check int) "n" 4 s.Stats.n;
+  check_float "min" 1. s.Stats.min;
+  check_float "max" 4. s.Stats.max;
+  check_float "mean" 2.5 s.Stats.mean
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty summarize"
+    (Invalid_argument "Stats.summarize: empty sample") (fun () ->
+      ignore (Stats.summarize []))
+
+(* --------------------------------------------------------------- Texttab *)
+
+let test_texttab_renders () =
+  let t = Texttab.create ~headers:[ "a"; "bb" ] in
+  Texttab.add_row t [ "1"; "2" ];
+  let s = Texttab.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.contains s 'a')
+
+let test_texttab_arity () =
+  let t = Texttab.create ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Texttab.add_row: arity mismatch") (fun () ->
+      Texttab.add_row t [ "only one" ])
+
+let test_texttab_alignment_width () =
+  let t = Texttab.create ~headers:[ "col" ] in
+  Texttab.set_aligns t [ Texttab.Right ];
+  Texttab.add_row t [ "x" ];
+  Texttab.add_row t [ "longer" ];
+  let lines = String.split_on_char '\n' (Texttab.render t) in
+  let widths = List.filter_map (fun l ->
+    if String.length l > 0 && l.[0] = '|' then Some (String.length l) else None)
+    lines
+  in
+  match widths with
+  | w :: rest ->
+    List.iter (fun w' -> Alcotest.(check int) "equal row widths" w w') rest
+  | [] -> Alcotest.fail "no rows rendered"
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "fcmp",
+        [
+          Alcotest.test_case "approx exact" `Quick test_approx_exact;
+          Alcotest.test_case "approx close" `Quick test_approx_close;
+          Alcotest.test_case "approx far" `Quick test_approx_far;
+          Alcotest.test_case "approx relative" `Quick test_approx_relative;
+          Alcotest.test_case "leq strict" `Quick test_leq_strict;
+          Alcotest.test_case "leq tolerant" `Quick test_leq_tolerant;
+          Alcotest.test_case "lt/gt" `Quick test_lt_gt;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "compare_approx" `Quick test_compare_approx;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_range bounds" `Quick test_rng_int_range_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "log_uniform bounds" `Quick test_rng_log_uniform_bounds;
+          Alcotest.test_case "bernoulli p=0" `Quick test_rng_bernoulli_extremes;
+          Alcotest.test_case "uniform mean" `Quick test_rng_mean_uniform;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "invalid args" `Quick test_rng_invalid_args;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "sorted order" `Quick test_pqueue_order;
+          Alcotest.test_case "push/pop" `Quick test_pqueue_push_pop;
+          Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          Alcotest.test_case "duplicates" `Quick test_pqueue_duplicates;
+          Alcotest.test_case "clear" `Quick test_pqueue_clear;
+          Alcotest.test_case "custom cmp" `Quick test_pqueue_custom_cmp;
+          Alcotest.test_case "to_sorted nondestructive" `Quick
+            test_pqueue_to_sorted_nondestructive;
+          qt prop_pqueue_sorts;
+        ] );
+      ( "numerics",
+        [
+          Alcotest.test_case "golden quadratic" `Quick test_golden_quadratic;
+          Alcotest.test_case "minimize nonconvex" `Quick test_minimize_nonconvex;
+          Alcotest.test_case "bisect sqrt2" `Quick test_bisect_sqrt2;
+          Alcotest.test_case "bisect no sign change" `Quick
+            test_bisect_no_sign_change;
+          Alcotest.test_case "integer argmin" `Quick test_integer_argmin;
+          Alcotest.test_case "integer argmin ties" `Quick test_integer_argmin_ties;
+          Alcotest.test_case "argmin unimodal" `Quick test_integer_argmin_unimodal;
+          Alcotest.test_case "harmonic" `Quick test_harmonic;
+          qt prop_golden_finds_vertex;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+        ] );
+      ( "texttab",
+        [
+          Alcotest.test_case "renders" `Quick test_texttab_renders;
+          Alcotest.test_case "arity" `Quick test_texttab_arity;
+          Alcotest.test_case "alignment width" `Quick test_texttab_alignment_width;
+        ] );
+    ]
