@@ -17,7 +17,7 @@ open Moldable_analysis
 
 let section title =
   let bar = String.make 72 '=' in
-  Printf.printf "\n%s\n%s\n%s\n\n" bar title bar
+  Printf.printf "\n%s\n%s\n%s\n\n%!" bar title bar
 
 let artifacts_dir = "paper_artifacts"
 
@@ -833,6 +833,133 @@ let scalability () =
     [ (20, 20, 64); (50, 40, 128); (100, 100, 256); (200, 250, 512) ];
   Texttab.print tab
 
+(* --------------------------------------------- Scalability of the hot path *)
+
+let scalability_hot_path () =
+  section
+    "Scalability (hot path) — heap-backed ready queue + analysis cache vs \
+     the seed's sorted-list reference policy, on DAGs up to 10^5 tasks and \
+     platforms up to P = 10^5.  'per task' is scheduling overhead divided by \
+     the number of tasks.";
+  let time_run f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, Sys.time () -. t0)
+  in
+  let tab =
+    Texttab.create
+      ~headers:
+        [ "workload"; "tasks"; "P"; "heap"; "per task"; "sorted list";
+          "speedup" ]
+  in
+  let acceptance = ref None in
+  let row ~name ~dag ~p ~with_reference =
+    let n = Dag.n dag in
+    let heap, t_heap =
+      time_run (fun () ->
+          Engine.run ~p
+            (Online_scheduler.policy ~allocator:Allocator.algorithm2_per_model
+               ~p ())
+            dag)
+    in
+    if n <= 10_000 then Validate.check_exn ~dag heap.Engine.schedule;
+    let reference =
+      if with_reference then begin
+        let r, t_ref =
+          time_run (fun () ->
+              Engine.run ~p
+                (Online_scheduler.policy_reference
+                   ~allocator:Allocator.algorithm2_per_model ~p ())
+                dag)
+        in
+        (* The two policies must agree; the bench would be meaningless
+           otherwise. *)
+        assert (
+          Float.equal
+            (Schedule.makespan heap.Engine.schedule)
+            (Schedule.makespan r.Engine.schedule));
+        Some t_ref
+      end
+      else None
+    in
+    Texttab.add_row tab
+      [
+        name;
+        string_of_int n;
+        string_of_int p;
+        Printf.sprintf "%.3f s" t_heap;
+        Printf.sprintf "%.2f us" (1e6 *. t_heap /. float_of_int n);
+        (match reference with
+        | Some t -> Printf.sprintf "%.3f s" t
+        | None -> "-");
+        (match reference with
+        | Some t ->
+          let s = t /. Float.max 1e-9 t_heap in
+          if name = "wide independent" && n = 100_000 && p = 256 then
+            acceptance := Some s;
+          Printf.sprintf "%.1fx" s
+        | None -> "-");
+      ]
+  in
+  let rng = Rng.create 77_777 in
+  (* Wide independent sets: every task is ready at t = 0, so the ready queue
+     reaches its maximum size and the sorted list degenerates to O(n^2). *)
+  List.iter
+    (fun (n, p, with_reference) ->
+      let dag =
+        Moldable_workloads.Random_dag.independent ~rng ~n
+          ~kind:Speedup.Kind_amdahl ()
+      in
+      row ~name:"wide independent" ~dag ~p ~with_reference)
+    [ (1_000, 256, true); (10_000, 256, true); (100_000, 256, true);
+      (100_000, 100_000, false) ];
+  Texttab.add_sep tab;
+  (* Deep chain of Theorem 9 tasks, t(p) = 1 / (lg p + 1): one ready task at
+     a time, so this isolates the per-task analysis cost of an Arbitrary
+     speedup (O(P) scan, cached vs recomputed). *)
+  let theorem9_time p = 1. /. ((log (float_of_int p) /. log 2.) +. 1.) in
+  List.iter
+    (fun (n, p) ->
+      let tasks =
+        List.init n (fun id ->
+            Task.make ~id
+              (Speedup.Arbitrary { name = "thm9"; time = theorem9_time }))
+      in
+      let edges = List.init (n - 1) (fun i -> (i, i + 1)) in
+      let dag = Dag.create ~tasks ~edges in
+      row ~name:"thm-9 chain" ~dag ~p ~with_reference:true)
+    [ (10_000, 256); (100_000, 256) ];
+  Texttab.add_sep tab;
+  (* Layered random DAGs: precedence keeps the ready set at ~width tasks, the
+     regime the seed was written for. *)
+  List.iter
+    (fun (layers, width, p) ->
+      let dag =
+        Moldable_workloads.Random_dag.layered ~rng ~n_layers:layers ~width
+          ~edge_prob:0.02 ~kind:Speedup.Kind_general ()
+      in
+      row ~name:"layered random" ~dag ~p ~with_reference:true)
+    [ (200, 100, 1_024); (2_000, 100, 1_024) ];
+  Texttab.print tab;
+  print_string
+    "\nThe heap's win is asymptotic: it dominates when the ready set is \
+     large (wide\nsets: the sorted list is quadratic), roughly halves the \
+     chain case (analysis\ncache: one O(P) Arbitrary scan per task instead \
+     of two), and concedes a small\nconstant factor when precedence keeps \
+     the ready set tiny (layered rows).\n";
+  (match !acceptance with
+  | Some s when s >= 10. ->
+    Printf.printf
+      "\nAcceptance: heap policy is %.0fx faster than the sorted list on the \
+       10^5-task\nwide set at P = 256 (criterion: >= 10x).\n"
+      s
+  | Some s ->
+    Printf.printf "\nACCEPTANCE FAILED: speedup %.1fx < 10x\n" s;
+    exit 1
+  | None ->
+    print_string "\nACCEPTANCE FAILED: 10^5/P=256 row did not run\n";
+    exit 1)
+
 (* ------------------------------------------------ Bechamel micro-benchmarks *)
 
 let micro_benchmarks () =
@@ -934,5 +1061,6 @@ let () =
   offline_section ();
   lemmas_section ();
   scalability ();
+  scalability_hot_path ();
   micro_benchmarks ();
   Printf.printf "\nAll sections completed.\n"

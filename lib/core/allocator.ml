@@ -1,6 +1,19 @@
 open Moldable_model
 
-type t = { name : string; allocate : p:int -> Task.t -> int }
+type t = {
+  name : string;
+  allocate : p:int -> Task.t -> int;
+  allocate_analyzed : Task.analyzed -> int;
+}
+
+(* Both entry points share one rule over the per-platform analysis; the
+   [~p] form re-analyzes, the [analyzed] form is the cache-friendly one. *)
+let make ~name allocate_analyzed =
+  {
+    name;
+    allocate = (fun ~p task -> allocate_analyzed (Task.analyze ~p task));
+    allocate_analyzed;
+  }
 
 (* Smallest q in [1, p_max] with t(q) <= bound, assuming t non-increasing
    there (Lemma 1). *)
@@ -19,7 +32,7 @@ let smallest_feasible (a : Task.analyzed) bound =
 
 (* Exhaustive Step 1 for arbitrary speedups: minimize area among feasible
    allocations, ties to the smallest allocation. *)
-let scan_feasible (a : Task.analyzed) bound =
+let scan_feasible_linear (a : Task.analyzed) bound =
   let best = ref None in
   for q = 1 to a.Task.p_max do
     if Moldable_util.Fcmp.leq (Task.time a.Task.task q) bound then begin
@@ -33,49 +46,44 @@ let scan_feasible (a : Task.analyzed) bound =
   | Some (q, _) -> q
   | None -> a.Task.p_max (* beta(p_max) = 1 <= delta, so unreachable *)
 
-let initial ~mu ~p task =
-  let a = Task.analyze ~p task in
+(* Arbitrary speedups whose sampled time/area happen to satisfy Lemma 1's
+   monotonic property get the same O(log p_max) binary search as the closed
+   forms (smallest feasible = smallest area among feasible); the linear scan
+   remains the fallback for genuinely non-monotonic models. *)
+let scan_feasible (a : Task.analyzed) bound =
+  if Task.monotonic a then smallest_feasible a bound
+  else scan_feasible_linear a bound
+
+let initial_analyzed ~mu (a : Task.analyzed) =
   let bound = Mu.delta mu *. a.Task.t_min in
-  match Speedup.kind task.Task.speedup with
+  match Speedup.kind a.Task.task.Task.speedup with
   | Speedup.Kind_arbitrary -> scan_feasible a bound
   | Speedup.Kind_roofline | Speedup.Kind_communication | Speedup.Kind_amdahl
   | Speedup.Kind_general | Speedup.Kind_power ->
     smallest_feasible a bound
 
+let initial ~mu ~p task = initial_analyzed ~mu (Task.analyze ~p task)
+
 let apply_cap ~mu ~p q = min q (Mu.cap ~mu ~p)
 
 let algorithm2 ~mu =
-  {
-    name = Printf.sprintf "algorithm2(mu=%.4f)" mu;
-    allocate = (fun ~p task -> apply_cap ~mu ~p (initial ~mu ~p task));
-  }
+  make
+    ~name:(Printf.sprintf "algorithm2(mu=%.4f)" mu)
+    (fun a -> apply_cap ~mu ~p:a.Task.p (initial_analyzed ~mu a))
 
 let algorithm2_per_model =
-  {
-    name = "algorithm2(per-model mu)";
-    allocate =
-      (fun ~p task ->
-        let mu = Mu.default (Speedup.kind task.Task.speedup) in
-        apply_cap ~mu ~p (initial ~mu ~p task));
-  }
+  make ~name:"algorithm2(per-model mu)" (fun a ->
+      let mu = Mu.default (Speedup.kind a.Task.task.Task.speedup) in
+      apply_cap ~mu ~p:a.Task.p (initial_analyzed ~mu a))
 
 let no_cap ~mu =
-  {
-    name = Printf.sprintf "no-cap(mu=%.4f)" mu;
-    allocate = (fun ~p task -> initial ~mu ~p task);
-  }
+  make
+    ~name:(Printf.sprintf "no-cap(mu=%.4f)" mu)
+    (fun a -> initial_analyzed ~mu a)
 
-let min_time =
-  {
-    name = "min-time";
-    allocate = (fun ~p task -> (Task.analyze ~p task).Task.p_max);
-  }
-
-let sequential = { name = "sequential"; allocate = (fun ~p:_ _ -> 1) }
-let all_p = { name = "all-p"; allocate = (fun ~p _ -> p) }
+let min_time = make ~name:"min-time" (fun a -> a.Task.p_max)
+let sequential = make ~name:"sequential" (fun _ -> 1)
+let all_p = make ~name:"all-p" (fun a -> a.Task.p)
 
 let fixed q =
-  {
-    name = Printf.sprintf "fixed(%d)" q;
-    allocate = (fun ~p _ -> max 1 (min q p));
-  }
+  make ~name:(Printf.sprintf "fixed(%d)" q) (fun a -> max 1 (min q a.Task.p))

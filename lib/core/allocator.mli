@@ -21,11 +21,21 @@ open Moldable_model
 
 type t = {
   name : string;
-  allocate : p:int -> Task.t -> int;  (** Final allocation, in [\[1, P\]]. *)
+  allocate : p:int -> Task.t -> int;
+      (** Final allocation, in [\[1, P\]]; analyzes the task internally. *)
+  allocate_analyzed : Task.analyzed -> int;
+      (** Same rule from a precomputed {!Task.analyzed} — the hot-path entry
+          used with {!Task.Cache} so each task is analyzed exactly once. *)
 }
+
+val make : name:string -> (Task.analyzed -> int) -> t
+(** Build both entry points from the analyzed-based rule. *)
 
 val initial : mu:float -> p:int -> Task.t -> int
 (** Step 1 of Algorithm 2 only. *)
+
+val initial_analyzed : mu:float -> Task.analyzed -> int
+(** {!initial} from a precomputed analysis. *)
 
 val algorithm2 : mu:float -> t
 (** The paper's allocator with a fixed [mu]. *)

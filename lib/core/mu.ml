@@ -25,4 +25,12 @@ let default = function
 
 let cap ~mu ~p =
   if p < 1 then invalid_arg "Mu.cap: p must be >= 1";
-  max 1 (int_of_float (ceil (mu *. float_of_int p)))
+  (* ceil(mu * P) of Algorithm 2, step 2.  The product is computed in floats,
+     so a mathematically integral mu * P can land an ulp above its integer
+     value and inflate the cap by one whole processor; shaving a relative
+     epsilon before rounding keeps exact multiples exact.  Non-integral
+     products are unaffected: they sit at least 1/P above the next integer
+     for rational mu, far beyond the epsilon. *)
+  let x = mu *. float_of_int p in
+  let eps = Moldable_util.Fcmp.default_eps in
+  max 1 (int_of_float (ceil (x -. (eps *. Float.max 1. (Float.abs x)))))

@@ -17,7 +17,24 @@ val policy :
   ?priority:Priority.t -> allocator:Allocator.t -> p:int -> unit ->
   Engine.policy
 (** Fresh, stateful policy for one run.  Default priority is {!Priority.fifo}
-    (the paper's algorithm). *)
+    (the paper's algorithm).
+
+    The waiting queue is a {!Moldable_util.Prefix_min} — per-allocation
+    heap buckets under a segment tree caching priority minima — so "first
+    task in priority order that fits in [free]" is a prefix-minimum query
+    over allocations [1, free]: O(log P + log n) per insert and launch,
+    O(log P) for the "nothing fits" probe.  Every rule carries a seq
+    tie-break, so the order is total and the launch sequence matches the
+    sorted-list formulation exactly.  Each revealed task is analyzed once
+    through a {!Moldable_model.Task.Cache} shared with the allocator. *)
+
+val policy_reference :
+  ?priority:Priority.t -> allocator:Allocator.t -> p:int -> unit ->
+  Engine.policy
+(** The original sorted-list implementation (O(n) insert and scan, no
+    analysis cache), retained as the differential-testing oracle and the
+    baseline of the scalability benchmark.  Produces the same launch order
+    as {!policy} on every input. *)
 
 val run :
   ?priority:Priority.t -> ?allocator:Allocator.t -> p:int -> Dag.t ->

@@ -6,13 +6,17 @@ open Moldable_core
 let canonical_objective ~p task q =
   Float.max (Task.time task q) (Task.area task q /. float_of_int p)
 
-let canonical_allotment ~p task =
-  let a = Task.analyze ~p task in
+let canonical_allotment_analyzed (a : Task.analyzed) =
+  let task = a.Task.task and p = a.Task.p in
   match Speedup.kind task.Task.speedup with
   | Speedup.Kind_arbitrary ->
-    Moldable_util.Numerics.integer_argmin
-      ~f:(canonical_objective ~p task)
-      ~lo:1 ~hi:a.Task.p_max
+    (* When the sampled model is monotonic (Lemma 1 sense), max(t, a/P) is
+       unimodal and a ternary search suffices; otherwise scan. *)
+    let argmin =
+      if Task.monotonic a then Moldable_util.Numerics.integer_argmin_unimodal
+      else Moldable_util.Numerics.integer_argmin
+    in
+    argmin ~f:(canonical_objective ~p task) ~lo:1 ~hi:a.Task.p_max
   | Speedup.Kind_roofline | Speedup.Kind_communication | Speedup.Kind_amdahl
   | Speedup.Kind_general | Speedup.Kind_power ->
     (* t is non-increasing and a/P non-decreasing on [1, p_max] (Lemma 1),
@@ -39,11 +43,11 @@ let canonical_allotment ~p task =
       end
     end
 
+let canonical_allotment ~p task =
+  canonical_allotment_analyzed (Task.analyze ~p task)
+
 let allocator =
-  {
-    Allocator.name = "canonical(max(t, a/P))";
-    allocate = (fun ~p task -> canonical_allotment ~p task);
-  }
+  Allocator.make ~name:"canonical(max(t, a/P))" canonical_allotment_analyzed
 
 let policy ~p = Online_scheduler.policy ~allocator ~p ()
 

@@ -16,23 +16,32 @@ type analyzed = {
   p_max : int;
   t_min : float;
   a_min : float;
+  mono : bool Lazy.t;
 }
 
 (* pbar of Equation (5): the integer neighbour of s = sqrt(w/c) with the
-   smaller execution time; meaningful only when c > 0. *)
-let pbar_of ~w ~c m =
-  let s = sqrt (w /. c) in
+   smaller execution time; meaningful only when c > 0.  The continuous
+   optimum is clamped to [1, P] before integer conversion: [int_of_float]
+   is unspecified outside the [int] range, and extreme parameters (huge [w],
+   tiny [c]) push [s] past it — callers take [min p] anyway, so clamping
+   loses nothing.  The lo/hi tie-break is tolerant so that a difference
+   within rounding noise resolves to the smaller allocation. *)
+let pbar_of ~w ~c ~p m =
+  let s =
+    Moldable_util.Fcmp.clamp ~lo:1. ~hi:(float_of_int p) (sqrt (w /. c))
+  in
   let lo = max 1 (int_of_float (floor s)) in
   let hi = max lo (int_of_float (ceil s)) in
-  if Speedup.time m lo <= Speedup.time m hi then lo else hi
+  if Moldable_util.Fcmp.leq (Speedup.time m lo) (Speedup.time m hi) then lo
+  else hi
 
 let closed_form_p_max ~p (m : Speedup.t) =
   match m with
   | Speedup.Roofline { ptilde; _ } -> Some (min p ptilde)
-  | Speedup.Communication { w; c } -> Some (min p (pbar_of ~w ~c m))
+  | Speedup.Communication { w; c } -> Some (min p (pbar_of ~w ~c ~p m))
   | Speedup.Amdahl _ -> Some p
   | Speedup.General { w; ptilde; c; _ } ->
-    if c > 0. then Some (min p (min ptilde (pbar_of ~w ~c m)))
+    if c > 0. then Some (min p (min ptilde (pbar_of ~w ~c ~p m)))
     else Some (min p ptilde)
   | Speedup.Power _ -> Some p (* strictly decreasing execution time *)
   | Speedup.Arbitrary _ -> None
@@ -40,38 +49,83 @@ let closed_form_p_max ~p (m : Speedup.t) =
 let p_max_scan ~p t =
   Moldable_util.Numerics.integer_argmin ~f:(fun q -> time t q) ~lo:1 ~hi:p
 
-let analyze ~p t =
-  if p < 1 then invalid_arg "Task.analyze: platform size must be >= 1";
-  let p_max =
-    match closed_form_p_max ~p t.speedup with
-    | Some q -> q
-    | None -> p_max_scan ~p t
-  in
-  let t_min = time t p_max in
-  let a_min =
-    match t.speedup with
-    | Speedup.Arbitrary _ ->
-      let q =
-        Moldable_util.Numerics.integer_argmin ~f:(area t) ~lo:1 ~hi:p_max
-      in
-      area t q
-    | Speedup.Roofline _ | Speedup.Communication _ | Speedup.Amdahl _
-    | Speedup.General _ | Speedup.Power _ ->
-      area t 1
-  in
-  { task = t; p; p_max; t_min; a_min }
-
-let alpha a q = area a.task q /. a.a_min
-let beta a q = time a.task q /. a.t_min
-
-let monotonic a =
+(* Lemma 1's monotonic property, checked by evaluating the model. *)
+let monotonic_scan t p_max =
   let ok = ref true in
-  for q = 1 to a.p_max - 1 do
-    let tq = time a.task q and tq1 = time a.task (q + 1) in
-    let aq = area a.task q and aq1 = area a.task (q + 1) in
+  for q = 1 to p_max - 1 do
+    let tq = time t q and tq1 = time t (q + 1) in
+    let aq = area t q and aq1 = area t (q + 1) in
     if not (Moldable_util.Fcmp.geq tq tq1) then ok := false;
     if not (Moldable_util.Fcmp.leq aq aq1) then ok := false
   done;
   !ok
+
+let analyze ~p t =
+  if p < 1 then invalid_arg "Task.analyze: platform size must be >= 1";
+  match closed_form_p_max ~p t.speedup with
+  | Some p_max ->
+    let t_min = time t p_max in
+    let a_min = area t 1 in
+    { task = t; p; p_max; t_min; a_min; mono = lazy (monotonic_scan t p_max) }
+  | None ->
+    (* Arbitrary speedups: the closed forms do not apply, so everything comes
+       from one fused pass that evaluates the (caller-supplied, potentially
+       expensive) time function exactly once per allocation, instead of the
+       three separate scans (p_max, a_min, monotonicity) it replaces. *)
+    let times = Array.init p (fun i -> time t (i + 1)) in
+    let a_of q = float_of_int q *. times.(q - 1) in
+    let p_max = ref 1 in
+    for q = 2 to p do
+      if times.(q - 1) < times.(!p_max - 1) then p_max := q
+    done;
+    let p_max = !p_max in
+    let t_min = times.(p_max - 1) in
+    let best_a = ref 1 in
+    for q = 2 to p_max do
+      if a_of q < a_of !best_a then best_a := q
+    done;
+    let a_min = a_of !best_a in
+    let mono =
+      let ok = ref true in
+      for q = 1 to p_max - 1 do
+        if not (Moldable_util.Fcmp.geq times.(q - 1) times.(q)) then ok := false;
+        if not (Moldable_util.Fcmp.leq (a_of q) (a_of (q + 1))) then ok := false
+      done;
+      Lazy.from_val !ok
+    in
+    { task = t; p; p_max; t_min; a_min; mono }
+
+let alpha a q = area a.task q /. a.a_min
+let beta a q = time a.task q /. a.t_min
+let monotonic a = Lazy.force a.mono
+
+module Cache = struct
+  type nonrec t = {
+    p : int;
+    tbl : (int, analyzed) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ~p =
+    if p < 1 then invalid_arg "Task.Cache.create: platform size must be >= 1";
+    { p; tbl = Hashtbl.create 64; hits = 0; misses = 0 }
+
+  let p c = c.p
+
+  let analyze c task =
+    match Hashtbl.find_opt c.tbl task.id with
+    | Some a when a.task == task ->
+      c.hits <- c.hits + 1;
+      a
+    | _ ->
+      c.misses <- c.misses + 1;
+      let a = analyze ~p:c.p task in
+      Hashtbl.replace c.tbl task.id a;
+      a
+
+  let hits c = c.hits
+  let misses c = c.misses
+end
 
 let pp ppf t = Format.fprintf ppf "%s#%d:%a" t.label t.id Speedup.pp t.speedup

@@ -34,10 +34,14 @@ type analyzed = private {
   p_max : int;   (** Equation (5). *)
   t_min : float; (** [time task p_max]. *)
   a_min : float; (** Minimum area over allocations [1 .. p_max]. *)
+  mono : bool Lazy.t;
+      (** Lemma 1's monotonic property, memoized; query via {!monotonic}. *)
 }
 
 val analyze : p:int -> t -> analyzed
-(** Requires [p >= 1]. *)
+(** Requires [p >= 1].  For [Arbitrary] speedups the time function is
+    evaluated exactly once per allocation in [1 .. p] (a single fused pass
+    computes [p_max], [t_min], [a_min] and monotonicity together). *)
 
 val p_max_scan : p:int -> t -> int
 (** Exhaustive-scan argmin of [t(.)] over [1 .. p] (smallest tie): used to
@@ -51,6 +55,33 @@ val beta : analyzed -> int -> float
 
 val monotonic : analyzed -> bool
 (** True when on [1 .. p_max] the time is non-increasing and the area is
-    non-decreasing (the monotonic property of Lemma 1). *)
+    non-decreasing (the monotonic property of Lemma 1).  Memoized on the
+    [analyzed] value: repeated queries cost O(1). *)
+
+(** {1 Analysis cache}
+
+    Memoizes {!analyze} per task for a fixed platform size.  The online
+    scheduler's hot path analyzes every revealed task (once for queue
+    metadata, once inside the allocator); a shared cache makes that a single
+    [analyze] per task per run.  Lookups are keyed by task id with a
+    physical-equality guard, so a cache must not be shared across graphs
+    that reuse ids. *)
+module Cache : sig
+  type task := t
+
+  type t
+
+  val create : p:int -> t
+  (** Fresh, empty cache for platform size [p].  Requires [p >= 1]. *)
+
+  val p : t -> int
+
+  val analyze : t -> task -> analyzed
+  (** Memoized {!Task.analyze}: repeated lookups of the same task return the
+      physically identical [analyzed] record. *)
+
+  val hits : t -> int
+  val misses : t -> int
+end
 
 val pp : Format.formatter -> t -> unit

@@ -26,15 +26,29 @@ let pop t =
     (fun i -> (i.time, i.payload))
     (Moldable_util.Pqueue.pop t.heap)
 
+(* Completions that are simultaneous in exact arithmetic reach the queue
+   through different float paths (each is a [start +. duration] sum), so
+   they can disagree in the last ulp.  Batching by exact equality then
+   splits one scheduling instant in two and the policy launches against a
+   stale free count.  The tolerance is relative and keyed off the batch's
+   first (earliest) timestamp — far below any genuine event separation, far
+   above accumulated rounding noise. *)
+let batch_eps = 1e-12
+
 let pop_simultaneous t =
   match pop t with
   | None -> None
   | Some (time, first) ->
-    let rec gather acc =
+    (* The returned instant is the LATEST stamp of the batch: events record
+       their own stamps elsewhere (e.g. task finish times in the schedule),
+       so anything the caller does "at" the batch instant must not precede
+       any stamp inside it. *)
+    let rec gather latest acc =
       match Moldable_util.Pqueue.peek t.heap with
-      | Some i when i.time = time ->
+      | Some i when Moldable_util.Fcmp.approx ~eps:batch_eps i.time time ->
         let i = Moldable_util.Pqueue.pop_exn t.heap in
-        gather (i.payload :: acc)
-      | Some _ | None -> List.rev acc
+        gather i.time (i.payload :: acc)
+      | Some _ | None -> (latest, List.rev acc)
     in
-    Some (time, gather [ first ])
+    let latest, batch = gather time [ first ] in
+    Some (latest, batch)

@@ -18,6 +18,12 @@ val next_time : 'a t -> float option
 val pop : 'a t -> (float * 'a) option
 
 val pop_simultaneous : 'a t -> (float * 'a list) option
-(** Pops {e every} event carrying the earliest time stamp (exact float
-    equality), in insertion order — the engine treats simultaneous
-    completions as one scheduling instant, as Algorithm 1 does. *)
+(** Pops {e every} event whose time stamp equals the earliest one up to a
+    relative epsilon of [1e-12] (keyed off the earliest stamp, so the batch
+    cannot drift), in [(time, insertion)] order — the engine treats
+    simultaneous completions as one scheduling instant, as Algorithm 1
+    does.  The tolerance absorbs last-ulp disagreement between finish times
+    computed along different float paths.  The returned time is the
+    {e latest} stamp of the batch, so acting "at" the returned instant never
+    precedes any stamp inside it (a task started then cannot overlap a
+    completion recorded one ulp later). *)

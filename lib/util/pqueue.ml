@@ -65,13 +65,17 @@ let pop_exn t =
   | Some x -> x
   | None -> invalid_arg "Pqueue.pop_exn: empty queue"
 
+let push_list t xs = List.iter (push t) xs
+
 let of_list ~cmp xs =
   let t = create ~cmp in
   List.iter (push t) xs;
   t
 
+let copy t = { t with data = Array.sub t.data 0 t.size }
+
 let to_sorted_list t =
-  let t' = { t with data = Array.sub t.data 0 t.size } in
+  let t' = copy t in
   let rec drain acc =
     match pop t' with None -> List.rev acc | Some x -> drain (x :: acc)
   in

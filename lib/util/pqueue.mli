@@ -17,7 +17,14 @@ val pop : 'a t -> 'a option
 val pop_exn : 'a t -> 'a
 (** @raise Invalid_argument on an empty queue. *)
 
+val push_list : 'a t -> 'a list -> unit
+(** Bulk insert — the re-insertion half of a pop-and-stash scan. *)
+
 val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+val copy : 'a t -> 'a t
+(** Independent heap with the same contents (elements are shared). *)
+
 val to_sorted_list : 'a t -> 'a list
 (** Non-destructive: elements in popping order. *)
 

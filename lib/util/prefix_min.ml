@@ -1,0 +1,118 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  k : int;
+  base : int; (* smallest power of two >= k; leaf for key j is base + j - 1 *)
+  tree : 'a option array; (* 1-indexed heap layout; cached bucket minima *)
+  buckets : 'a Pqueue.t option array; (* index 1..k, created lazily *)
+  mutable length : int;
+}
+
+let create ~k ~cmp =
+  if k < 1 then invalid_arg "Prefix_min.create: key space must be >= 1";
+  let base = ref 1 in
+  while !base < k do
+    base := !base * 2
+  done;
+  {
+    cmp;
+    k;
+    base = !base;
+    tree = Array.make (2 * !base) None;
+    buckets = Array.make (k + 1) None;
+    length = 0;
+  }
+
+let length t = t.length
+let is_empty t = t.length = 0
+
+let min_opt cmp a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some x, Some y -> if cmp x y <= 0 then a else b
+
+(* Recompute cached minima from [node]'s parent up to the root. *)
+let update_path t node =
+  let i = ref (node / 2) in
+  while !i >= 1 do
+    t.tree.(!i) <- min_opt t.cmp t.tree.(2 * !i) t.tree.((2 * !i) + 1);
+    i := !i / 2
+  done
+
+let push t ~key x =
+  if key < 1 || key > t.k then
+    invalid_arg
+      (Printf.sprintf "Prefix_min.push: key %d outside [1, %d]" key t.k);
+  let b =
+    match t.buckets.(key) with
+    | Some b -> b
+    | None ->
+      let b = Pqueue.create ~cmp:t.cmp in
+      t.buckets.(key) <- Some b;
+      b
+  in
+  Pqueue.push b x;
+  let leaf = t.base + key - 1 in
+  t.tree.(leaf) <- Pqueue.peek b;
+  update_path t leaf;
+  t.length <- t.length + 1
+
+(* The decomposition node of the range [1, key] whose cached minimum is the
+   overall prefix minimum, paired with that minimum.  (The prefix minimum
+   need not be the global minimum, so a later descent must start from this
+   node, not the root.) *)
+let best_node t ~key =
+  let key = min key t.k in
+  if key < 1 then None
+  else begin
+    (* Standard bottom-up decomposition of the leaf range [1, key]. *)
+    let lo = ref t.base and hi = ref (t.base + key - 1) in
+    let best = ref None in
+    let consider i =
+      match t.tree.(i) with
+      | None -> ()
+      | Some x -> (
+        match !best with
+        | Some (_, bx) when t.cmp bx x <= 0 -> ()
+        | _ -> best := Some (i, x))
+    in
+    while !lo <= !hi do
+      if !lo land 1 = 1 then begin
+        consider !lo;
+        incr lo
+      end;
+      if !hi land 1 = 0 then begin
+        consider !hi;
+        decr hi
+      end;
+      lo := !lo / 2;
+      hi := !hi / 2
+    done;
+    !best
+  end
+
+let peek_prefix t ~key = Option.map snd (best_node t ~key)
+
+let pop_prefix t ~key =
+  match best_node t ~key with
+  | None -> None
+  | Some (node, v) ->
+    (* Descend to v's leaf: cmp is total, so within [node]'s subtree only
+       v's own child path caches a value comparing equal to it. *)
+    let i = ref node in
+    while !i < t.base do
+      let l = 2 * !i in
+      (match t.tree.(l) with
+      | Some x when t.cmp x v = 0 -> i := l
+      | _ -> i := l + 1)
+    done;
+    let key = !i - t.base + 1 in
+    let b =
+      match t.buckets.(key) with
+      | Some b -> b
+      | None -> assert false
+    in
+    let x = Pqueue.pop_exn b in
+    t.tree.(!i) <- Pqueue.peek b;
+    update_path t !i;
+    t.length <- t.length - 1;
+    Some x

@@ -47,6 +47,25 @@ let test_cap () =
   Alcotest.(check int) "at least 1" 1 (Mu.cap ~mu:0.01 ~p:3);
   Alcotest.(check int) "exact integer" 25 (Mu.cap ~mu:0.25 ~p:100)
 
+let test_cap_matches_exact_rational () =
+  (* For mu = a/b the exact cap is ceil(a*p/b) = (a*p + b - 1) / b in integer
+     arithmetic.  The float product mu *. p can land a few ulps above the
+     exact value (e.g. 0.3239 *. 10000. = 3239.0000000000005), which inflated
+     ceil by one processor in the seed.  Sweep every p up to 10^4 against the
+     integer oracle. *)
+  let ratios = [ (1, 5); (1, 4); (3, 10); (1, 3); (19, 100); (3239, 10000) ] in
+  List.iter
+    (fun (a, b) ->
+      let mu = float_of_int a /. float_of_int b in
+      for p = 1 to 10_000 do
+        let exact = max 1 (((a * p) + b - 1) / b) in
+        let got = Mu.cap ~mu ~p in
+        if got <> exact then
+          Alcotest.failf "cap mismatch for mu=%d/%d p=%d: got %d, exact %d" a b
+            p got exact
+      done)
+    ratios
+
 (* ------------------------------------------------------------- Allocator *)
 
 let test_initial_respects_beta () =
@@ -330,6 +349,8 @@ let () =
           Alcotest.test_case "defaults admissible" `Quick
             test_mu_defaults_admissible;
           Alcotest.test_case "cap" `Quick test_cap;
+          Alcotest.test_case "cap matches exact rational" `Quick
+            test_cap_matches_exact_rational;
         ] );
       ( "allocator",
         [

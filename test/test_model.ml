@@ -169,6 +169,21 @@ let test_pmax_comm_capped_by_p () =
   let a = Task.analyze ~p:4 (task (comm ~w:100. ~c:1.)) in
   Alcotest.(check int) "capped at P" 4 a.Task.p_max
 
+let test_pmax_comm_extreme_ratio () =
+  (* sqrt (w /. c) overflows to a huge float here; the unclamped seed fed it
+     straight into [int_of_float], whose result is unspecified outside the
+     int range (it came out as a garbage allotment, reported as p_max = 1).
+     The clamp must land on p_max = P: with w/c this large the time is
+     strictly decreasing over all of [1, P]. *)
+  let a = Task.analyze ~p:8 (task (comm ~w:1e300 ~c:1e-300)) in
+  Alcotest.(check int) "p_max = P under extreme w/c" 8 a.Task.p_max;
+  Alcotest.(check int)
+    "matches exhaustive scan" 8
+    (Task.p_max_scan ~p:8 (task (comm ~w:1e300 ~c:1e-300)));
+  (* The mirror extreme: communication dominates, the optimum is p = 1. *)
+  let a = Task.analyze ~p:8 (task (comm ~w:1e-300 ~c:1e300)) in
+  Alcotest.(check int) "p_max = 1 under extreme c/w" 1 a.Task.p_max
+
 let test_pmax_matches_scan () =
   let rng = Rng.create 1234 in
   for _ = 1 to 200 do
@@ -325,6 +340,8 @@ let () =
           Alcotest.test_case "p_max amdahl" `Quick test_pmax_amdahl_is_p;
           Alcotest.test_case "p_max communication sqrt" `Quick
             test_pmax_comm_sqrt;
+          Alcotest.test_case "p_max survives extreme w/c ratios" `Quick
+            test_pmax_comm_extreme_ratio;
           Alcotest.test_case "p_max capped by P" `Quick
             test_pmax_comm_capped_by_p;
           Alcotest.test_case "p_max matches exhaustive scan" `Quick

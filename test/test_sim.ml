@@ -49,6 +49,82 @@ let test_eq_rejects_nonfinite () =
     (Invalid_argument "Event_queue.add: time must be finite") (fun () ->
       Event_queue.add q ~time:Float.nan ())
 
+let test_eq_batches_ulp_apart () =
+  (* 0.1 +. 0.2 and 0.3 are the same instant computed along two float paths;
+     they differ in the last ulp and must still land in one batch. *)
+  let t1 = 0.1 +. 0.2 and t2 = 0.3 in
+  Alcotest.(check bool) "premise: not exactly equal" false (Float.equal t1 t2);
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:t1 "a";
+  Event_queue.add q ~time:t2 "b";
+  (match Event_queue.pop_simultaneous q with
+  | Some (t, items) ->
+    (* The instant is the batch's latest stamp, so callers acting "at" it
+       never precede a stamp inside the batch. *)
+    check_float "batch at the later stamp" t1 t;
+    Alcotest.(check int) "both events in one batch" 2 (List.length items)
+  | None -> Alcotest.fail "expected events");
+  Alcotest.(check bool) "drained" true (Event_queue.is_empty q)
+
+let test_eq_distinct_times_not_batched () =
+  (* The tolerance is relative and tiny: genuinely distinct close times
+     stay separate scheduling instants. *)
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:1.0 "a";
+  Event_queue.add q ~time:(1.0 +. 1e-9) "b";
+  match Event_queue.pop_simultaneous q with
+  | Some (_, items) -> Alcotest.(check int) "only one" 1 (List.length items)
+  | None -> Alcotest.fail "expected events"
+
+let test_engine_batches_ulp_completions () =
+  (* Two independent tasks whose durations are mathematically equal but
+     differ in the last ulp (0.1 + 0.2 vs 0.3): their completions form one
+     scheduling instant, so a 2-processor successor-free task waiting for
+     both processors starts at that instant, not an ulp later with a stale
+     free count. *)
+  let d1 = 0.1 +. 0.2 and d2 = 0.3 in
+  let t0 = Task.make ~id:0 (Speedup.Arbitrary { name = "a"; time = (fun _ -> d1) }) in
+  let t1 = Task.make ~id:1 (Speedup.Arbitrary { name = "b"; time = (fun _ -> d2) }) in
+  let wide = Task.make ~id:2 (roofline ~w:1. ~ptilde:2) in
+  let dag = dag_of [ t0; t1; wide ] [] in
+  let policy =
+    (* Run the narrow tasks on 1 proc each, the wide one on 2. *)
+    {
+      Engine.name = "test";
+      on_ready = (fun ~now:_ _ -> ());
+      next_launch =
+        (let started = ref [] in
+         fun ~now:_ ~free ->
+           let next =
+             List.find_opt
+               (fun (id, alloc) -> (not (List.mem id !started)) && alloc <= free)
+               [ (0, 1); (1, 1); (2, 2) ]
+           in
+           match next with
+           | Some (id, alloc) ->
+             started := id :: !started;
+             Some (id, alloc)
+           | None -> None);
+    }
+  in
+  let r = Engine.run ~p:2 policy dag in
+  let finishes =
+    List.filter_map
+      (function t, Engine.Finish _ -> Some t | _ -> None)
+      r.Engine.trace
+  in
+  (match finishes with
+  | ta :: tb :: _ ->
+    Alcotest.(check bool) "both finishes recorded at one instant" true
+      (Float.equal ta tb)
+  | _ -> Alcotest.fail "expected the two narrow finishes first");
+  let wide_start = (Schedule.placement r.Engine.schedule 2).Schedule.start in
+  (* The batch instant is its latest stamp (d1 > d2 by one ulp), so the wide
+     start cannot precede either recorded finish. *)
+  Alcotest.(check bool) "wide task starts at the batch instant" true
+    (Float.equal wide_start (Float.max d1 d2));
+  Validate.check_exn ~dag r.Engine.schedule
+
 (* -------------------------------------------------------------- Platform *)
 
 let test_platform_acquire_release () =
@@ -419,6 +495,10 @@ let () =
           Alcotest.test_case "simultaneous partial" `Quick
             test_eq_simultaneous_partial;
           Alcotest.test_case "rejects non-finite" `Quick test_eq_rejects_nonfinite;
+          Alcotest.test_case "batches ulp-apart times" `Quick
+            test_eq_batches_ulp_apart;
+          Alcotest.test_case "keeps distinct times separate" `Quick
+            test_eq_distinct_times_not_batched;
         ] );
       ( "platform",
         [
@@ -461,6 +541,8 @@ let () =
       ( "engine",
         [
           Alcotest.test_case "single task" `Quick test_engine_single_task;
+          Alcotest.test_case "batches ulp-apart completions" `Quick
+            test_engine_batches_ulp_completions;
           Alcotest.test_case "chain sequential" `Quick test_engine_chain_sequential;
           Alcotest.test_case "parallel when fits" `Quick
             test_engine_parallel_when_fits;

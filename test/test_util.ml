@@ -173,12 +173,126 @@ let test_pqueue_to_sorted_nondestructive () =
   let _ = Pqueue.to_sorted_list q in
   Alcotest.(check int) "length unchanged" 3 (Pqueue.length q)
 
+let test_pqueue_push_list () =
+  let q = Pqueue.of_list ~cmp:compare [ 5; 1 ] in
+  Pqueue.push_list q [ 4; 0; 3 ];
+  Alcotest.(check (list int)) "merged" [ 0; 1; 3; 4; 5 ]
+    (Pqueue.to_sorted_list q);
+  Pqueue.push_list q [];
+  Alcotest.(check int) "empty push_list is a no-op" 5 (Pqueue.length q)
+
+let test_pqueue_copy_independent () =
+  let q = Pqueue.of_list ~cmp:compare [ 3; 1; 2 ] in
+  let q' = Pqueue.copy q in
+  ignore (Pqueue.pop q');
+  Pqueue.push q' 0;
+  Alcotest.(check int) "original length untouched" 3 (Pqueue.length q);
+  Alcotest.(check (option int)) "original min untouched" (Some 1)
+    (Pqueue.peek q);
+  Alcotest.(check (list int)) "copy evolved independently" [ 0; 2; 3 ]
+    (Pqueue.to_sorted_list q')
+
 let prop_pqueue_sorts =
   QCheck.Test.make ~name:"pqueue sorts like List.sort" ~count:200
     QCheck.(list int)
     (fun xs ->
       let q = Pqueue.of_list ~cmp:compare xs in
       Pqueue.to_sorted_list q = List.sort compare xs)
+
+let prop_pqueue_push_list_like_of_list =
+  QCheck.Test.make ~name:"push_list agrees with of_list on the union"
+    ~count:200
+    QCheck.(pair (list int) (list int))
+    (fun (xs, ys) ->
+      let q = Pqueue.of_list ~cmp:compare xs in
+      Pqueue.push_list q ys;
+      Pqueue.to_sorted_list q = List.sort compare (xs @ ys))
+
+(* ------------------------------------------------------------ Prefix_min *)
+
+let test_prefix_min_basic () =
+  let t = Prefix_min.create ~k:8 ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Prefix_min.is_empty t);
+  Alcotest.(check (option int)) "peek empty" None (Prefix_min.peek_prefix t ~key:8);
+  Prefix_min.push t ~key:3 30;
+  Prefix_min.push t ~key:5 10;
+  Prefix_min.push t ~key:1 20;
+  Alcotest.(check int) "length" 3 (Prefix_min.length t);
+  (* The prefix minimum is not the global minimum here. *)
+  Alcotest.(check (option int)) "prefix [1,4]" (Some 20)
+    (Prefix_min.peek_prefix t ~key:4);
+  Alcotest.(check (option int)) "prefix [1,8]" (Some 10)
+    (Prefix_min.peek_prefix t ~key:8);
+  Alcotest.(check (option int)) "key above k clamps" (Some 10)
+    (Prefix_min.peek_prefix t ~key:100);
+  Alcotest.(check (option int)) "key < 1 is empty" None
+    (Prefix_min.peek_prefix t ~key:0);
+  Alcotest.(check (option int)) "pop [1,4]" (Some 20)
+    (Prefix_min.pop_prefix t ~key:4);
+  Alcotest.(check (option int)) "then pop [1,4] again" (Some 30)
+    (Prefix_min.pop_prefix t ~key:4);
+  Alcotest.(check (option int)) "then [1,4] empty" None
+    (Prefix_min.pop_prefix t ~key:4);
+  Alcotest.(check (option int)) "but [1,5] still has 10" (Some 10)
+    (Prefix_min.pop_prefix t ~key:5);
+  Alcotest.(check bool) "drained" true (Prefix_min.is_empty t)
+
+let test_prefix_min_rejects_bad_keys () =
+  Alcotest.check_raises "k >= 1"
+    (Invalid_argument "Prefix_min.create: key space must be >= 1") (fun () ->
+      ignore (Prefix_min.create ~k:0 ~cmp:compare));
+  let t = Prefix_min.create ~k:4 ~cmp:compare in
+  Alcotest.check_raises "push key too large"
+    (Invalid_argument "Prefix_min.push: key 5 outside [1, 4]") (fun () ->
+      Prefix_min.push t ~key:5 1);
+  Alcotest.check_raises "push key too small"
+    (Invalid_argument "Prefix_min.push: key 0 outside [1, 4]") (fun () ->
+      Prefix_min.push t ~key:0 1)
+
+let prop_prefix_min_matches_model =
+  (* Random interleaving of pushes and prefix-pops, checked against a naive
+     list model.  Elements are (value, uid) so cmp is total like the
+     scheduler's priority rules. *)
+  QCheck.Test.make ~name:"prefix_min matches naive list model" ~count:300
+    QCheck.(
+      pair (int_range 1 12)
+        (small_list (pair (int_range 1 12) (int_range 0 30))))
+    (fun (k, ops) ->
+      let t = Prefix_min.create ~k ~cmp:compare in
+      let model = ref [] in
+      let uid = ref 0 in
+      List.for_all
+        (fun (key, v) ->
+          if v mod 3 = 0 then begin
+            (* pop_prefix with query key [key] *)
+            let expect =
+              List.fold_left
+                (fun acc (x, kx) ->
+                  if kx <= min key k then
+                    match acc with
+                    | Some (b, _) when compare b x <= 0 -> acc
+                    | _ -> Some (x, kx)
+                  else acc)
+                None !model
+            in
+            let got = Prefix_min.pop_prefix t ~key in
+            (match expect with
+            | Some (x, kx) ->
+              model :=
+                List.filter (fun (y, ky) -> not (y = x && ky = kx)) !model
+            | None -> ());
+            Option.map fst expect = got
+            && Prefix_min.length t = List.length !model
+          end
+          else begin
+            let key = 1 + (key mod k) in
+            let x = (v, !uid) in
+            incr uid;
+            Prefix_min.push t ~key x;
+            model := (x, key) :: !model;
+            Prefix_min.length t = List.length !model
+          end)
+        ops)
 
 (* -------------------------------------------------------------- Numerics *)
 
@@ -333,7 +447,18 @@ let () =
           Alcotest.test_case "custom cmp" `Quick test_pqueue_custom_cmp;
           Alcotest.test_case "to_sorted nondestructive" `Quick
             test_pqueue_to_sorted_nondestructive;
+          Alcotest.test_case "push_list" `Quick test_pqueue_push_list;
+          Alcotest.test_case "copy is independent" `Quick
+            test_pqueue_copy_independent;
           qt prop_pqueue_sorts;
+          qt prop_pqueue_push_list_like_of_list;
+        ] );
+      ( "prefix_min",
+        [
+          Alcotest.test_case "basic queries" `Quick test_prefix_min_basic;
+          Alcotest.test_case "rejects bad keys" `Quick
+            test_prefix_min_rejects_bad_keys;
+          qt prop_prefix_min_matches_model;
         ] );
       ( "numerics",
         [
