@@ -605,7 +605,27 @@ let failures_section () =
           Printf.sprintf "%.3f" (1. /. (1. -. q));
         ])
     [ 0.0; 0.1; 0.2; 0.3; 0.5 ];
-  Texttab.print tab
+  Texttab.print tab;
+  (* Instrumentation of one representative failure run (q = 0.3), exported
+     for offline analysis: counters + utilization timeline + queue depth +
+     per-task waits.  Schema documented in EXPERIMENTS.md. *)
+  let r =
+    Failure_engine.run ~seed:1
+      ~failures:(Failure_engine.bernoulli ~q:0.3)
+      ~p
+      (Online_scheduler.policy ~allocator:Allocator.algorithm2_per_model ~p
+         ())
+      dag
+  in
+  let m = r.Failure_engine.metrics in
+  Printf.printf "\ninstrumented run (q=0.30): %s\n"
+    (Format.asprintf "%a" Moldable_sim.Metrics.pp m);
+  write_artifact "failures_metrics.json" (Moldable_sim.Metrics.to_json m);
+  write_artifact "failures_utilization.csv"
+    (Moldable_sim.Metrics.utilization_csv m);
+  write_artifact "failures_queue_depth.csv"
+    (Moldable_sim.Metrics.queue_depth_csv m);
+  write_artifact "failures_tasks.csv" (Moldable_sim.Metrics.tasks_csv m)
 
 (* --------------------------------------- Extension: tasks released over time *)
 

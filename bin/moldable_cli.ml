@@ -196,7 +196,7 @@ let theorem9_cmd =
 (* -------------------------------------------------------------- simulate *)
 
 let simulate_cmd =
-  let run kind p seed workload n gantt svg load save swf =
+  let run kind p seed workload n gantt svg load save swf metrics_out =
     let rng = Rng.create seed in
     let dag, releases =
       match (load, swf) with
@@ -245,6 +245,15 @@ let simulate_cmd =
       makespan
       (makespan /. bounds.Bounds.lower_bound)
       (100. *. Schedule.average_utilization result.Engine.schedule);
+    Printf.printf "%s\n"
+      (Format.asprintf "%a" Moldable_sim.Metrics.pp result.Engine.metrics);
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Moldable_sim.Metrics.to_json result.Engine.metrics);
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
     if gantt then
       print_string
         (Moldable_viz.Gantt.render ~width:100
@@ -292,12 +301,21 @@ let simulate_cmd =
             "Replay a Standard Workload Format trace: jobs become \
              independent moldable tasks released at their submit times.")
   in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's instrumentation report (counters, utilization \
+             timeline, queue depth, per-task waits) as JSON to $(docv).")
+  in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Generate (or load) a workload, run Algorithm 1 on it and report.")
     Term.(
       const run $ kind_arg $ p_arg 64 $ seed_arg $ workload_arg $ size_arg
-      $ gantt_arg $ svg_arg $ load_arg $ save_arg $ swf_arg)
+      $ gantt_arg $ svg_arg $ load_arg $ save_arg $ swf_arg $ metrics_arg)
 
 (* ---------------------------------------------------------------- verify *)
 

@@ -39,8 +39,17 @@ let () =
     n p;
   Printf.printf "  last arrival %.2f, makespan %.2f\n" releases.(n - 1)
     metrics.Moldable_analysis.Metrics.makespan;
-  Printf.printf "  %s\n\n"
+  Printf.printf "  %s\n"
     (Format.asprintf "%a" Moldable_analysis.Metrics.pp metrics);
+  (* Every run is instrumented by the unified core: counters, utilization
+     timeline, queue depth and per-task waits ride along in [result]. *)
+  Printf.printf "  core instrumentation: %s\n"
+    (Format.asprintf "%a" Metrics.pp result.Engine.metrics);
+  let metrics_file = "failures_and_arrivals_metrics.json" in
+  let oc = open_out metrics_file in
+  output_string oc (Metrics.to_json result.Engine.metrics);
+  close_out oc;
+  Printf.printf "  wrote %s\n\n" metrics_file;
 
   (* --- Part 2: a workflow under silent errors. --- *)
   let wf =

@@ -96,8 +96,17 @@ let policy_reference ?(priority = Priority.fifo) ~allocator ~p () =
     next_launch;
   }
 
-let run ?priority ?(allocator = Allocator.algorithm2_per_model) ~p dag =
-  Engine.run ~p (policy ?priority ~allocator ~p ()) dag
+let run ?priority ?(allocator = Allocator.algorithm2_per_model) ?release_times
+    ~p dag =
+  Engine.run ?release_times ~p (policy ?priority ~allocator ~p ()) dag
+
+(* Full access to the unified core: release times, failure injection and the
+   instrumented result in one call. *)
+let run_instrumented ?priority ?(allocator = Allocator.algorithm2_per_model)
+    ?release_times ?seed ?max_attempts ?failures ~p dag =
+  Sim_core.run ?release_times ?seed ?max_attempts ?failures ~p
+    (policy ?priority ~allocator ~p ())
+    dag
 
 let makespan ?priority ?allocator ~p dag =
   Schedule.makespan (run ?priority ?allocator ~p dag).Engine.schedule

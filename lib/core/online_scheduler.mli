@@ -37,10 +37,18 @@ val policy_reference :
     as {!policy} on every input. *)
 
 val run :
-  ?priority:Priority.t -> ?allocator:Allocator.t -> p:int -> Dag.t ->
-  Engine.result
+  ?priority:Priority.t -> ?allocator:Allocator.t ->
+  ?release_times:float array -> p:int -> Dag.t -> Engine.result
 (** One-shot: build the policy (allocator defaults to
     {!Allocator.algorithm2_per_model}) and simulate it. *)
+
+val run_instrumented :
+  ?priority:Priority.t -> ?allocator:Allocator.t ->
+  ?release_times:float array -> ?seed:int -> ?max_attempts:int ->
+  ?failures:Sim_core.failure_model -> p:int -> Dag.t -> Sim_core.result
+(** Algorithm 1 on the unified core with every knob exposed: release times,
+    failure injection (default {!Sim_core.never}) and the full instrumented
+    {!Sim_core.result} (schedule, trace, attempts and {!Metrics.t}). *)
 
 val makespan :
   ?priority:Priority.t -> ?allocator:Allocator.t -> p:int -> Dag.t -> float

@@ -1,130 +1,35 @@
-open Moldable_model
-open Moldable_graph
-
-type policy = {
+type policy = Sim_core.policy = {
   name : string;
-  on_ready : now:float -> Task.t -> unit;
+  on_ready : now:float -> Moldable_model.Task.t -> unit;
   next_launch : now:float -> free:int -> (int * int) option;
 }
 
-exception Policy_error of string
+exception Policy_error = Sim_core.Policy_error
 
 type event = Ready of int | Start of int * int | Finish of int
 
-type result = { schedule : Schedule.t; trace : (float * event) list }
+type result = {
+  schedule : Schedule.t;
+  trace : (float * event) list;
+  metrics : Metrics.t;
+}
 
-type task_state = Unrevealed | Available | Running | Done
-
-(* Internal simulation events: task completions and delayed reveals. *)
-type sim_event = Complete of int * int array | Reveal of int
-
+(* The failure-free engine is the unified core instantiated with the [never]
+   failure model; only the trace needs mapping, because a failure-free run
+   cannot contain [Failed] events. *)
 let run ?release_times ~p policy dag =
-  let n = Dag.n dag in
-  (match release_times with
-  | None -> ()
-  | Some r ->
-    if Array.length r <> n then
-      invalid_arg "Engine.run: release_times length must equal task count";
-    Array.iter
-      (fun t ->
-        if not (Float.is_finite t) || t < 0. then
-          invalid_arg "Engine.run: release times must be finite and >= 0")
-      r);
-  let release i =
-    match release_times with None -> 0. | Some r -> r.(i)
+  let r = Sim_core.run ?release_times ~failures:Sim_core.never ~p policy dag in
+  let trace =
+    List.map
+      (fun (time, ev) ->
+        ( time,
+          match ev with
+          | Sim_core.Ready i -> Ready i
+          | Sim_core.Start (i, q) -> Start (i, q)
+          | Sim_core.Finish i -> Finish i
+          | Sim_core.Failed _ -> assert false ))
+      r.Sim_core.trace
   in
-  let platform = Platform.create p in
-  let builder = Schedule.builder ~p ~n in
-  let events = Event_queue.create () in
-  let state = Array.make n Unrevealed in
-  let indeg = Array.init n (Dag.in_degree dag) in
-  let completed = ref 0 in
-  let trace = ref [] in
-  let record now ev = trace := (now, ev) :: !trace in
-  let fail fmt =
-    Printf.ksprintf
-      (fun s -> raise (Policy_error (policy.name ^ ": " ^ s)))
-      fmt
-  in
-  let reveal now i =
-    state.(i) <- Available;
-    record now (Ready i);
-    policy.on_ready ~now (Dag.task dag i)
-  in
-  (* A task whose precedence constraints are satisfied at [now] is revealed
-     immediately, or scheduled as a future Reveal if not yet released. *)
-  let reveal_or_defer now i =
-    if release i <= now then reveal now i
-    else Event_queue.add events ~time:(release i) (Reveal i)
-  in
-  let launch_round now =
-    let rec loop () =
-      let free = Platform.free_count platform in
-      if free > 0 then
-        match policy.next_launch ~now ~free with
-        | None -> ()
-        | Some (tid, nprocs) ->
-          if tid < 0 || tid >= n then fail "launched unknown task %d" tid;
-          (match state.(tid) with
-          | Available -> ()
-          | Unrevealed -> fail "launched unrevealed task %d" tid
-          | Running | Done -> fail "launched task %d twice" tid);
-          if nprocs < 1 then fail "task %d launched on %d procs" tid nprocs;
-          if nprocs > free then
-            fail "task %d needs %d procs but only %d are free" tid nprocs free;
-          let procs = Platform.acquire platform nprocs in
-          let duration = Task.time (Dag.task dag tid) nprocs in
-          state.(tid) <- Running;
-          record now (Start (tid, nprocs));
-          Schedule.add builder
-            {
-              Schedule.task_id = tid;
-              start = now;
-              finish = now +. duration;
-              nprocs;
-              procs;
-            };
-          Event_queue.add events ~time:(now +. duration) (Complete (tid, procs));
-          loop ()
-    in
-    loop ()
-  in
-  List.iter (reveal_or_defer 0.) (Dag.sources dag);
-  launch_round 0.;
-  while !completed < n do
-    match Event_queue.pop_simultaneous events with
-    | None ->
-      fail "stalled: %d of %d tasks completed but nothing is running"
-        !completed n
-    | Some (now, batch) ->
-      (* Release processors of every completion in the batch first, then
-         reveal (newly released and newly available tasks), then launch: the
-         policy sees the full ready set and free count of this instant. *)
-      let finished =
-        List.filter_map
-          (function
-            | Complete (tid, procs) ->
-              Platform.release platform procs;
-              state.(tid) <- Done;
-              incr completed;
-              record now (Finish tid);
-              Some tid
-            | Reveal _ -> None)
-          batch
-      in
-      List.iter
-        (function Reveal i -> reveal now i | Complete _ -> ())
-        batch;
-      List.iter
-        (fun tid ->
-          List.iter
-            (fun j ->
-              indeg.(j) <- indeg.(j) - 1;
-              if indeg.(j) = 0 then reveal_or_defer now j)
-            (Dag.successors dag tid))
-        finished;
-      launch_round now
-  done;
-  { schedule = Schedule.finalize builder; trace = List.rev !trace }
+  { schedule = r.Sim_core.schedule; trace; metrics = r.Sim_core.metrics }
 
 let makespan ~p policy dag = Schedule.makespan (run ~p policy dag).schedule

@@ -1,4 +1,5 @@
-(** Online discrete-event scheduling engine.
+(** Online discrete-event scheduling engine (failure-free instantiation of
+    {!Sim_core}).
 
     The engine owns the clock, the platform and the precedence bookkeeping,
     and reveals the graph to the scheduling policy exactly as the online
@@ -9,12 +10,16 @@
     At time 0 and at every set of simultaneous task completions the engine
     (1) reveals newly available tasks via [on_ready], then (2) repeatedly
     asks [next_launch] for a task to start right now, until the policy
-    declines.  This is precisely the event structure of Algorithm 1. *)
+    declines.  This is precisely the event structure of Algorithm 1.
+
+    Since the engine unification, this module is a thin wrapper over
+    {!Sim_core.run} with the {!Sim_core.never} failure model: the event loop
+    lives in one place and {!Failure_engine} shares it. *)
 
 open Moldable_model
 open Moldable_graph
 
-type policy = {
+type policy = Sim_core.policy = {
   name : string;
   on_ready : now:float -> Task.t -> unit;
       (** A task became available; its parameters are now visible. *)
@@ -26,7 +31,8 @@ type policy = {
 
 exception Policy_error of string
 (** The policy launched a task that is not ready, exceeded the free
-    processor count, or stalled with ready tasks and no running work. *)
+    processor count, or stalled with ready tasks and no running work.
+    (The same exception as {!Sim_core.Policy_error}.) *)
 
 type event =
   | Ready of int
@@ -36,6 +42,7 @@ type event =
 type result = {
   schedule : Schedule.t;
   trace : (float * event) list;  (** Chronological. *)
+  metrics : Metrics.t;  (** Run counters, utilization and queue timelines. *)
 }
 
 val run : ?release_times:float array -> p:int -> policy -> Dag.t -> result

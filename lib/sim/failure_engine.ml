@@ -2,29 +2,16 @@ open Moldable_util
 open Moldable_model
 open Moldable_graph
 
-type failure_model = {
+type failure_model = Sim_core.failure_model = {
   model_name : string;
   fails : Rng.t -> task_id:int -> attempt:int -> bool;
 }
 
-let never = { model_name = "never"; fails = (fun _ ~task_id:_ ~attempt:_ -> false) }
+let never = Sim_core.never
+let bernoulli = Sim_core.bernoulli
+let at_most = Sim_core.at_most
 
-let bernoulli ~q =
-  if q < 0. || q >= 1. then
-    invalid_arg "Failure_engine.bernoulli: q must be in [0, 1)";
-  {
-    model_name = Printf.sprintf "bernoulli(%.3f)" q;
-    fails = (fun rng ~task_id:_ ~attempt:_ -> Rng.bernoulli rng q);
-  }
-
-let at_most ~k =
-  if k < 0 then invalid_arg "Failure_engine.at_most: k must be >= 0";
-  {
-    model_name = Printf.sprintf "at-most(%d)" k;
-    fails = (fun _ ~task_id:_ ~attempt -> attempt <= k);
-  }
-
-type attempt = {
+type attempt = Sim_core.attempt = {
   task_id : int;
   attempt : int;
   start : float;
@@ -36,119 +23,31 @@ type attempt = {
 
 type result = {
   attempts : attempt list;
+  schedule : Schedule.t;
+  trace : (float * Sim_core.event) list;
+  metrics : Metrics.t;
   makespan : float;
   n_attempts : int;
   n_failures : int;
 }
 
-type task_state = Unrevealed | Available | Running | Done
-
-let run ?(seed = 0) ?(max_attempts = 1000) ~failures ~p policy dag =
-  let n = Dag.n dag in
-  let rng = Rng.create seed in
-  let platform = Platform.create p in
-  let events = Event_queue.create () in
-  let state = Array.make n Unrevealed in
-  let indeg = Array.init n (Dag.in_degree dag) in
-  let attempt_no = Array.make n 0 in
-  let completed = ref 0 in
-  let attempts = ref [] in
-  let fail fmt =
-    Printf.ksprintf
-      (fun s -> raise (Engine.Policy_error (policy.Engine.name ^ ": " ^ s)))
-      fmt
+(* The failure engine is the unified core with a non-trivial failure model;
+   it regains release times, the [Schedule.t] of successful attempts and the
+   event trace for free. *)
+let run ?(seed = 0) ?(max_attempts = 1000) ?release_times ~failures ~p policy
+    dag =
+  let r =
+    Sim_core.run ?release_times ~seed ~max_attempts ~failures ~p policy dag
   in
-  let reveal now i =
-    state.(i) <- Available;
-    policy.Engine.on_ready ~now (Dag.task dag i)
-  in
-  let launch_round now =
-    let rec loop () =
-      let free = Platform.free_count platform in
-      if free > 0 then
-        match policy.Engine.next_launch ~now ~free with
-        | None -> ()
-        | Some (tid, nprocs) ->
-          if tid < 0 || tid >= n then fail "launched unknown task %d" tid;
-          (match state.(tid) with
-          | Available -> ()
-          | Unrevealed -> fail "launched unrevealed task %d" tid
-          | Running -> fail "launched running task %d" tid
-          | Done -> fail "launched completed task %d" tid);
-          if nprocs < 1 || nprocs > free then
-            fail "task %d launched on %d procs with %d free" tid nprocs free;
-          let procs = Platform.acquire platform nprocs in
-          let duration = Task.time (Dag.task dag tid) nprocs in
-          state.(tid) <- Running;
-          attempt_no.(tid) <- attempt_no.(tid) + 1;
-          if attempt_no.(tid) > max_attempts then
-            failwith
-              (Printf.sprintf
-                 "Failure_engine.run: task %d exceeded %d attempts" tid
-                 max_attempts);
-          Event_queue.add events
-            ~time:(now +. duration)
-            (tid, attempt_no.(tid), now, procs);
-          loop ()
-    in
-    loop ()
-  in
-  List.iter (reveal 0.) (Dag.sources dag);
-  launch_round 0.;
-  while !completed < n do
-    match Event_queue.pop_simultaneous events with
-    | None ->
-      fail "stalled: %d of %d tasks completed but nothing is running"
-        !completed n
-    | Some (now, batch) ->
-      let succeeded = ref [] in
-      List.iter
-        (fun (tid, attempt, start, procs) ->
-          Platform.release platform procs;
-          let failed = failures.fails rng ~task_id:tid ~attempt in
-          attempts :=
-            {
-              task_id = tid;
-              attempt;
-              start;
-              finish = now;
-              nprocs = Array.length procs;
-              procs;
-              failed;
-            }
-            :: !attempts;
-          if failed then
-            (* Detected at completion: re-execute from scratch; the policy
-               re-chooses the allocation. *)
-            reveal now tid
-          else begin
-            state.(tid) <- Done;
-            incr completed;
-            succeeded := tid :: !succeeded
-          end)
-        batch;
-      List.iter
-        (fun tid ->
-          List.iter
-            (fun j ->
-              indeg.(j) <- indeg.(j) - 1;
-              if indeg.(j) = 0 then reveal now j)
-            (Dag.successors dag tid))
-        (List.rev !succeeded);
-      launch_round now
-  done;
-  let attempts =
-    List.sort
-      (fun a b ->
-        match compare a.start b.start with
-        | 0 -> compare (a.task_id, a.attempt) (b.task_id, b.attempt)
-        | c -> c)
-      !attempts
-  in
-  let makespan = List.fold_left (fun acc a -> Float.max acc a.finish) 0. attempts in
-  let n_attempts = List.length attempts in
-  let n_failures = List.length (List.filter (fun a -> a.failed) attempts) in
-  { attempts; makespan; n_attempts; n_failures }
+  {
+    attempts = r.Sim_core.attempts;
+    schedule = r.Sim_core.schedule;
+    trace = r.Sim_core.trace;
+    metrics = r.Sim_core.metrics;
+    makespan = r.Sim_core.makespan;
+    n_attempts = r.Sim_core.n_attempts;
+    n_failures = r.Sim_core.n_failures;
+  }
 
 let validate ~dag ~p result =
   let errors = ref [] in
@@ -187,12 +86,19 @@ let validate ~dag ~p result =
         atts)
   done;
   (* Precedence against successful completions: no attempt of a successor
-     may start before every predecessor's success. *)
+     may start before every predecessor's success.  A predecessor that never
+     succeeded leaves [success_finish] at NaN, and every float comparison
+     with NaN is false — so the NaN case must be flagged explicitly or the
+     whole downstream subgraph would be silently accepted. *)
   List.iter
     (fun (i, j) ->
       List.iter
         (fun a ->
-          if Fcmp.lt ~eps:1e-6 a.start success_finish.(i) then
+          if Float.is_nan success_finish.(i) then
+            err
+              "task %d attempt %d ran although predecessor %d never succeeded"
+              j a.attempt i
+          else if Fcmp.lt ~eps:1e-6 a.start success_finish.(i) then
             err "task %d attempt %d starts before predecessor %d succeeds" j
               a.attempt i)
         per_task.(j))

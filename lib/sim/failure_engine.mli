@@ -11,12 +11,17 @@
     This engine drives the same {!Engine.policy} interface: on a failed
     attempt, the task is handed back to the policy through [on_ready] (so a
     stateless allocator naturally re-allocates it) and its successors stay
-    blocked until a successful attempt completes. *)
+    blocked until a successful attempt completes.
+
+    Since the engine unification this module is a thin instantiation of
+    {!Sim_core}, so failure runs support [release_times] and return the
+    [Schedule.t] of successful attempts, the full event trace and a
+    {!Metrics.t} — exactly like failure-free runs. *)
 
 open Moldable_util
 open Moldable_graph
 
-type failure_model = {
+type failure_model = Sim_core.failure_model = {
   model_name : string;
   fails : Rng.t -> task_id:int -> attempt:int -> bool;
       (** Decides whether the [attempt]-th execution (1-based) of the task
@@ -31,7 +36,7 @@ val at_most : k:int -> failure_model
 (** Deterministic: the first [k] attempts of every task fail, the next
     succeeds — handy for exact makespan assertions in tests. *)
 
-type attempt = {
+type attempt = Sim_core.attempt = {
   task_id : int;
   attempt : int;      (** 1-based attempt number. *)
   start : float;
@@ -43,23 +48,32 @@ type attempt = {
 
 type result = {
   attempts : attempt list;  (** Chronological (by start, then task id). *)
+  schedule : Schedule.t;
+      (** One placement per task: its successful attempt. *)
+  trace : (float * Sim_core.event) list;
+      (** Chronological; includes {!Sim_core.Failed} events. *)
+  metrics : Metrics.t;
   makespan : float;
   n_attempts : int;
   n_failures : int;
 }
 
 val run :
-  ?seed:int -> ?max_attempts:int -> failures:failure_model -> p:int ->
-  Engine.policy -> Dag.t -> result
+  ?seed:int -> ?max_attempts:int -> ?release_times:float array ->
+  failures:failure_model -> p:int -> Engine.policy -> Dag.t -> result
 (** [max_attempts] (default 1000) bounds the attempts per task, guarding
-    against failure models that never succeed.
+    against failure models that never succeed; the guard fires {e before}
+    any processor is acquired and its message names the task, the attempt
+    count and the failure model.
     @raise Engine.Policy_error on policy misbehaviour.
-    @raise Failure when a task exceeds [max_attempts]. *)
+    @raise Failure when a task would exceed [max_attempts].
+    @raise Invalid_argument on ill-formed release times. *)
 
 val validate : dag:Dag.t -> p:int -> result -> (unit, string list) Stdlib.result
 (** Checks: every task has exactly one successful attempt and it is its
     last; attempt durations equal [t(nprocs)]; precedence constraints hold
-    against the {e successful} completion of predecessors; no processor is
-    shared by two concurrent attempts. *)
+    against the {e successful} completion of predecessors (a predecessor
+    that never succeeded is itself a violation for every downstream
+    attempt); no processor is shared by two concurrent attempts. *)
 
 val validate_exn : dag:Dag.t -> p:int -> result -> unit

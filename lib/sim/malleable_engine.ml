@@ -54,21 +54,38 @@ let equal_share ~p dag =
   let indeg = Array.init n (Dag.in_degree dag) in
   let remaining = Array.make n 1.0 in
   let completion = Array.make n nan in
-  let available = ref [] in
-  (* Tasks beyond platform capacity wait in FIFO order. *)
-  let reveal i = available := !available @ [ i ] in
+  (* Tasks beyond platform capacity wait in FIFO order.  The queue is a
+     two-list deque ([head] in order, [tail] reversed) with a [finished]
+     membership array: push-back on reveal, pop from the head for the active
+     set, and push-front to return still-running actives — every operation
+     is amortized O(1), where the seed's [list @ [i]] append and
+     [List.mem i finished] filter were both O(n) per round. *)
+  let head = ref [] and tail = ref [] in
+  let finished_flag = Array.make n false in
+  let reveal i = tail := i :: !tail in
   List.iter reveal (Dag.sources dag);
+  (* Pop up to [k] tasks from the queue front, preserving FIFO order. *)
+  let rec pop_front k acc =
+    if k = 0 then List.rev acc
+    else
+      match !head with
+      | x :: rest ->
+        head := rest;
+        pop_front (k - 1) (x :: acc)
+      | [] ->
+        if !tail = [] then List.rev acc
+        else begin
+          head := List.rev !tail;
+          tail := [];
+          pop_front k acc
+        end
+  in
   let phases = ref [] in
   let now = ref 0. in
   let completed = ref 0 in
   while !completed < n do
     (* Activate at most P tasks (each needs >= 1 processor). *)
-    let rec take k = function
-      | [] -> []
-      | _ when k = 0 -> []
-      | x :: rest -> x :: take (k - 1) rest
-    in
-    let active = take p !available in
+    let active = pop_front p [] in
     if active = [] then
       failwith "Malleable_engine.equal_share: stalled with tasks remaining";
     let caps =
@@ -104,7 +121,11 @@ let equal_share ~p dag =
         end)
       rates;
     let finished = List.rev !finished in
-    available := List.filter (fun i -> not (List.mem i finished)) !available;
+    List.iter (fun i -> finished_flag.(i) <- true) finished;
+    (* Unfinished actives return to the queue front in their original order;
+       only tasks in the active set can have finished, so the rest of the
+       queue is untouched. *)
+    head := List.filter (fun i -> not finished_flag.(i)) active @ !head;
     List.iter
       (fun i ->
         incr completed;

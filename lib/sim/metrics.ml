@@ -1,0 +1,163 @@
+type counters = {
+  mutable events : int;
+  mutable batches : int;
+  mutable launches : int;
+  mutable retries : int;
+  mutable stall_checks : int;
+}
+
+let make_counters () =
+  { events = 0; batches = 0; launches = 0; retries = 0; stall_checks = 0 }
+
+type segment = { t0 : float; t1 : float; busy : int }
+
+type task_stat = {
+  task_id : int;
+  ready : float;
+  start : float;
+  finish : float;
+  wait : float;
+  service : float;
+  attempts : int;
+}
+
+type t = {
+  p : int;
+  counters : counters;
+  utilization : segment list;
+  queue_depth : (float * int) list;
+  tasks : task_stat array;
+}
+
+(* Sweep over the execution spans (attempt start/finish/nprocs) to recover
+   the busy-processor timeline; simultaneous endpoints collapse into one
+   breakpoint so segments are maximal. *)
+let timeline_of_spans spans =
+  let deltas =
+    List.concat_map
+      (fun (start, finish, nprocs) -> [ (start, nprocs); (finish, -nprocs) ])
+      spans
+    |> List.sort (fun (ta, _) (tb, _) -> Float.compare ta tb)
+  in
+  let rec sweep acc busy cursor = function
+    | [] -> List.rev acc
+    | (time, delta) :: rest ->
+      let acc = if time > cursor then { t0 = cursor; t1 = time; busy } :: acc else acc in
+      sweep acc (busy + delta) time rest
+  in
+  match deltas with [] -> [] | (t0, _) :: _ -> sweep [] 0 t0 deltas
+
+let build ~p ~counters ~queue_depth ~tasks ~spans =
+  { p; counters; utilization = timeline_of_spans spans; queue_depth; tasks }
+
+let busy_area t =
+  List.fold_left
+    (fun acc s -> acc +. (float_of_int s.busy *. (s.t1 -. s.t0)))
+    0. t.utilization
+
+let span t =
+  List.fold_left (fun acc s -> Float.max acc s.t1) 0. t.utilization
+
+let average_utilization t =
+  let horizon = span t in
+  if horizon <= 0. then 0.
+  else busy_area t /. (float_of_int t.p *. horizon)
+
+let max_queue_depth t =
+  List.fold_left (fun acc (_, d) -> max acc d) 0 t.queue_depth
+
+let mean_wait t =
+  let n = Array.length t.tasks in
+  if n = 0 then 0.
+  else
+    Array.fold_left (fun acc ts -> acc +. ts.wait) 0. t.tasks
+    /. float_of_int n
+
+let max_wait t =
+  Array.fold_left (fun acc ts -> Float.max acc ts.wait) 0. t.tasks
+
+(* ------------------------------------------------------------------ export *)
+
+let f = Printf.sprintf "%.12g"
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add "{\n";
+  add
+    (Printf.sprintf
+       "  \"counters\": {\"events\": %d, \"batches\": %d, \"launches\": %d, \
+        \"retries\": %d, \"stall_checks\": %d},\n"
+       t.counters.events t.counters.batches t.counters.launches
+       t.counters.retries t.counters.stall_checks);
+  add (Printf.sprintf "  \"p\": %d,\n" t.p);
+  add (Printf.sprintf "  \"busy_area\": %s,\n" (f (busy_area t)));
+  add
+    (Printf.sprintf "  \"average_utilization\": %s,\n"
+       (f (average_utilization t)));
+  add "  \"utilization\": [";
+  List.iteri
+    (fun i s ->
+      if i > 0 then add ", ";
+      add
+        (Printf.sprintf "{\"t0\": %s, \"t1\": %s, \"busy\": %d}" (f s.t0)
+           (f s.t1) s.busy))
+    t.utilization;
+  add "],\n  \"queue_depth\": [";
+  List.iteri
+    (fun i (time, depth) ->
+      if i > 0 then add ", ";
+      add (Printf.sprintf "{\"time\": %s, \"depth\": %d}" (f time) depth))
+    t.queue_depth;
+  add "],\n  \"tasks\": [";
+  Array.iteri
+    (fun i ts ->
+      if i > 0 then add ", ";
+      add
+        (Printf.sprintf
+           "{\"task\": %d, \"ready\": %s, \"start\": %s, \"finish\": %s, \
+            \"wait\": %s, \"service\": %s, \"attempts\": %d}"
+           ts.task_id (f ts.ready) (f ts.start) (f ts.finish) (f ts.wait)
+           (f ts.service) ts.attempts))
+    t.tasks;
+  add "]\n}\n";
+  Buffer.contents buf
+
+let utilization_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "t0,t1,busy\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%d\n" (f s.t0) (f s.t1) s.busy))
+    t.utilization;
+  Buffer.contents buf
+
+let queue_depth_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "time,depth\n";
+  List.iter
+    (fun (time, depth) ->
+      Buffer.add_string buf (Printf.sprintf "%s,%d\n" (f time) depth))
+    t.queue_depth;
+  Buffer.contents buf
+
+let tasks_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "task,ready,start,finish,wait,service,attempts\n";
+  Array.iter
+    (fun ts ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%s,%s,%s,%s,%d\n" ts.task_id (f ts.ready)
+           (f ts.start) (f ts.finish) (f ts.wait) (f ts.service) ts.attempts))
+    t.tasks;
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf
+    "events=%d batches=%d launches=%d retries=%d stall_checks=%d util=%.1f%% \
+     max_queue=%d mean_wait=%.4f max_wait=%.4f"
+    t.counters.events t.counters.batches t.counters.launches t.counters.retries
+    t.counters.stall_checks
+    (100. *. average_utilization t)
+    (max_queue_depth t) (mean_wait t) (max_wait t)

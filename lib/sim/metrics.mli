@@ -1,0 +1,87 @@
+(** Run observability for the simulation core.
+
+    Every {!Sim_core} run produces a [Metrics.t] alongside its schedule:
+    per-run counters, the busy-processor timeline, the ready-queue depth at
+    every scheduling instant, and per-task wait/service statistics.  The
+    record is cheap to collect (a few counters and one sample per event
+    batch) and exports to JSON or CSV for offline analysis next to the
+    [paper_artifacts/] outputs.
+
+    Invariants (asserted by the test suite):
+    - the integral of the utilization timeline equals the total busy area
+      (sum over attempts of [nprocs * duration]);
+    - [launches = n + retries] — every task succeeds exactly once, every
+      failed attempt is relaunched;
+    - per-task waits are non-negative. *)
+
+type counters = {
+  mutable events : int;        (** Simulation events dequeued. *)
+  mutable batches : int;       (** Scheduling instants processed. *)
+  mutable launches : int;      (** Task attempts started. *)
+  mutable retries : int;       (** Failed attempts (re-executions needed). *)
+  mutable stall_checks : int;  (** [next_launch] calls answered [None]. *)
+}
+
+val make_counters : unit -> counters
+(** Fresh all-zero counters (mutated in place by the simulation core). *)
+
+type segment = { t0 : float; t1 : float; busy : int }
+(** Maximal interval during which exactly [busy] processors were executing
+    attempts. *)
+
+type task_stat = {
+  task_id : int;
+  ready : float;    (** First time the task became available. *)
+  start : float;    (** Start of the first attempt. *)
+  finish : float;   (** Successful completion. *)
+  wait : float;     (** [start - ready]; non-negative. *)
+  service : float;  (** Total execution time across all attempts. *)
+  attempts : int;   (** Attempts executed (1 when nothing failed). *)
+}
+
+type t = {
+  p : int;
+  counters : counters;
+  utilization : segment list;        (** Chronological busy timeline. *)
+  queue_depth : (float * int) list;  (** Ready-set size after each instant. *)
+  tasks : task_stat array;           (** Indexed by task id. *)
+}
+
+val build :
+  p:int ->
+  counters:counters ->
+  queue_depth:(float * int) list ->
+  tasks:task_stat array ->
+  spans:(float * float * int) list ->
+  t
+(** Assembles a report; [spans] lists every attempt as
+    [(start, finish, nprocs)] and is swept into the utilization timeline. *)
+
+val busy_area : t -> float
+(** Integral of the utilization timeline ([sum busy * (t1 - t0)]). *)
+
+val span : t -> float
+(** Latest endpoint of the timeline (the instrumented makespan). *)
+
+val average_utilization : t -> float
+(** [busy_area / (p * span)], 0 for an empty run. *)
+
+val max_queue_depth : t -> int
+val mean_wait : t -> float
+val max_wait : t -> float
+
+val to_json : t -> string
+(** The whole report as a self-contained JSON document (schema documented in
+    EXPERIMENTS.md). *)
+
+val utilization_csv : t -> string
+(** [t0,t1,busy] rows. *)
+
+val queue_depth_csv : t -> string
+(** [time,depth] rows. *)
+
+val tasks_csv : t -> string
+(** [task,ready,start,finish,wait,service,attempts] rows. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line human summary of counters and headline statistics. *)

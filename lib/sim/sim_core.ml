@@ -1,0 +1,277 @@
+open Moldable_util
+open Moldable_model
+open Moldable_graph
+
+type policy = {
+  name : string;
+  on_ready : now:float -> Task.t -> unit;
+  next_launch : now:float -> free:int -> (int * int) option;
+}
+
+exception Policy_error of string
+
+type failure_model = {
+  model_name : string;
+  fails : Rng.t -> task_id:int -> attempt:int -> bool;
+}
+
+let never =
+  { model_name = "never"; fails = (fun _ ~task_id:_ ~attempt:_ -> false) }
+
+let bernoulli ~q =
+  if q < 0. || q >= 1. then
+    invalid_arg "Sim_core.bernoulli: q must be in [0, 1)";
+  {
+    model_name = Printf.sprintf "bernoulli(%.3f)" q;
+    fails = (fun rng ~task_id:_ ~attempt:_ -> Rng.bernoulli rng q);
+  }
+
+let at_most ~k =
+  if k < 0 then invalid_arg "Sim_core.at_most: k must be >= 0";
+  {
+    model_name = Printf.sprintf "at-most(%d)" k;
+    fails = (fun _ ~task_id:_ ~attempt -> attempt <= k);
+  }
+
+type event =
+  | Ready of int
+  | Start of int * int
+  | Finish of int
+  | Failed of int * int
+
+type attempt = {
+  task_id : int;
+  attempt : int;
+  start : float;
+  finish : float;
+  nprocs : int;
+  procs : int array;
+  failed : bool;
+}
+
+type result = {
+  schedule : Schedule.t;
+  trace : (float * event) list;
+  attempts : attempt list;
+  makespan : float;
+  n_attempts : int;
+  n_failures : int;
+  metrics : Metrics.t;
+}
+
+type task_state = Unrevealed | Available | Running | Done
+
+(* Internal simulation events: attempt completions and delayed reveals.  The
+   exact finish stamp ([start +. duration]) rides along because
+   [Event_queue.pop_simultaneous] reports a batch under its latest member's
+   stamp, and the schedule must record each task's own stamp. *)
+type sim_event =
+  | Complete of { tid : int; attempt : int; start : float; finish : float;
+                  procs : int array }
+  | Reveal of int
+
+let run ?release_times ?(seed = 0) ?(max_attempts = max_int)
+    ?(failures = never) ~p policy dag =
+  let n = Dag.n dag in
+  (match release_times with
+  | None -> ()
+  | Some r ->
+    if Array.length r <> n then
+      invalid_arg "Sim_core.run: release_times length must equal task count";
+    Array.iter
+      (fun t ->
+        if not (Float.is_finite t) || t < 0. then
+          invalid_arg "Sim_core.run: release times must be finite and >= 0")
+      r);
+  if max_attempts < 1 then
+    invalid_arg "Sim_core.run: max_attempts must be >= 1";
+  let release i =
+    match release_times with None -> 0. | Some r -> r.(i)
+  in
+  let rng = Rng.create seed in
+  let platform = Platform.create p in
+  let builder = Schedule.builder ~p ~n in
+  let events = Event_queue.create () in
+  let state = Array.make n Unrevealed in
+  let indeg = Array.init n (Dag.in_degree dag) in
+  let attempt_no = Array.make n 0 in
+  let completed = ref 0 in
+  let trace = ref [] in
+  let attempts = ref [] in
+  let n_failures = ref 0 in
+  (* Observability state: counters mutate in place; the ready count and
+     per-task arrays feed the Metrics report after the run. *)
+  let counters = Metrics.make_counters () in
+  let ready_count = ref 0 in
+  let depth_samples = ref [] in
+  let first_ready = Array.make n nan in
+  let first_start = Array.make n nan in
+  let service = Array.make n 0. in
+  let record now ev = trace := (now, ev) :: !trace in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s -> raise (Policy_error (policy.name ^ ": " ^ s)))
+      fmt
+  in
+  let reveal now i =
+    state.(i) <- Available;
+    incr ready_count;
+    if Float.is_nan first_ready.(i) then first_ready.(i) <- now;
+    record now (Ready i);
+    policy.on_ready ~now (Dag.task dag i)
+  in
+  (* A task whose precedence constraints are satisfied at [now] is revealed
+     immediately, or scheduled as a future Reveal if not yet released. *)
+  let reveal_or_defer now i =
+    if release i <= now then reveal now i
+    else Event_queue.add events ~time:(release i) (Reveal i)
+  in
+  let launch_round now =
+    let rec loop () =
+      let free = Platform.free_count platform in
+      if free > 0 then
+        match policy.next_launch ~now ~free with
+        | None -> counters.Metrics.stall_checks <- counters.Metrics.stall_checks + 1
+        | Some (tid, nprocs) ->
+          if tid < 0 || tid >= n then fail "launched unknown task %d" tid;
+          (match state.(tid) with
+          | Available -> ()
+          | Unrevealed -> fail "launched unrevealed task %d" tid
+          | Running -> fail "launched running task %d" tid
+          | Done -> fail "launched completed task %d" tid);
+          if nprocs < 1 then fail "task %d launched on %d procs" tid nprocs;
+          if nprocs > free then
+            fail "task %d needs %d procs but only %d are free" tid nprocs free;
+          (* The attempt cap is checked before any resource is acquired or
+             queued, so a violation leaves the platform and event queue
+             untouched. *)
+          if attempt_no.(tid) >= max_attempts then
+            failwith
+              (Printf.sprintf
+                 "Sim_core.run: task %d reached the attempt limit (%d \
+                  attempts, all failed) under failure model %s"
+                 tid max_attempts failures.model_name);
+          let procs = Platform.acquire platform nprocs in
+          let duration = Task.time (Dag.task dag tid) nprocs in
+          state.(tid) <- Running;
+          decr ready_count;
+          attempt_no.(tid) <- attempt_no.(tid) + 1;
+          if Float.is_nan first_start.(tid) then first_start.(tid) <- now;
+          counters.Metrics.launches <- counters.Metrics.launches + 1;
+          record now (Start (tid, nprocs));
+          Event_queue.add events
+            ~time:(now +. duration)
+            (Complete
+               { tid; attempt = attempt_no.(tid); start = now;
+                 finish = now +. duration; procs });
+          loop ()
+    in
+    loop ()
+  in
+  let sample_depth now = depth_samples := (now, !ready_count) :: !depth_samples in
+  List.iter (reveal_or_defer 0.) (Dag.sources dag);
+  launch_round 0.;
+  sample_depth 0.;
+  while !completed < n do
+    match Event_queue.pop_simultaneous events with
+    | None ->
+      fail "stalled: %d of %d tasks completed but nothing is running"
+        !completed n
+    | Some (now, batch) ->
+      counters.Metrics.batches <- counters.Metrics.batches + 1;
+      counters.Metrics.events <- counters.Metrics.events + List.length batch;
+      (* Phase 1 — completions: release the processors of every attempt in
+         the batch and classify it (consuming the failure RNG in batch
+         order), so the policy later sees the full free count of this
+         instant. *)
+      let outcomes =
+        List.map
+          (function
+            | Complete { tid; attempt; start; finish; procs } ->
+              Platform.release platform procs;
+              let failed = failures.fails rng ~task_id:tid ~attempt in
+              attempts :=
+                { task_id = tid; attempt; start; finish = now;
+                  nprocs = Array.length procs; procs; failed }
+                :: !attempts;
+              service.(tid) <- service.(tid) +. (now -. start);
+              if failed then begin
+                incr n_failures;
+                counters.Metrics.retries <- counters.Metrics.retries + 1;
+                record now (Failed (tid, attempt));
+                `Failed tid
+              end
+              else begin
+                state.(tid) <- Done;
+                incr completed;
+                record now (Finish tid);
+                Schedule.add builder
+                  { Schedule.task_id = tid; start; finish;
+                    nprocs = Array.length procs; procs };
+                `Succeeded tid
+              end
+            | Reveal i -> `Revealed i)
+          batch
+      in
+      (* Phase 2 — reveals, in batch order: failed attempts go back to the
+         policy (a stateless allocator naturally re-allocates them) and
+         release-time reveals fire. *)
+      List.iter
+        (function
+          | `Failed tid -> reveal now tid
+          | `Revealed i -> reveal now i
+          | `Succeeded _ -> ())
+        outcomes;
+      (* Phase 3 — precedence: successors unlocked by this batch's
+         successful completions, still in batch order. *)
+      List.iter
+        (function
+          | `Succeeded tid ->
+            List.iter
+              (fun j ->
+                indeg.(j) <- indeg.(j) - 1;
+                if indeg.(j) = 0 then reveal_or_defer now j)
+              (Dag.successors dag tid)
+          | `Failed _ | `Revealed _ -> ())
+        outcomes;
+      launch_round now;
+      sample_depth now
+  done;
+  let attempts =
+    List.sort
+      (fun a b ->
+        match compare a.start b.start with
+        | 0 -> compare (a.task_id, a.attempt) (b.task_id, b.attempt)
+        | c -> c)
+      !attempts
+  in
+  let schedule = Schedule.finalize builder in
+  let makespan =
+    List.fold_left (fun acc a -> Float.max acc a.finish) 0. attempts
+  in
+  let tasks =
+    Array.init n (fun i ->
+        {
+          Metrics.task_id = i;
+          ready = first_ready.(i);
+          start = first_start.(i);
+          finish = (Schedule.placement schedule i).Schedule.finish;
+          wait = first_start.(i) -. first_ready.(i);
+          service = service.(i);
+          attempts = attempt_no.(i);
+        })
+  in
+  let spans = List.map (fun a -> (a.start, a.finish, a.nprocs)) attempts in
+  let metrics =
+    Metrics.build ~p ~counters ~queue_depth:(List.rev !depth_samples) ~tasks
+      ~spans
+  in
+  {
+    schedule;
+    trace = List.rev !trace;
+    attempts;
+    makespan;
+    n_attempts = List.length attempts;
+    n_failures = !n_failures;
+    metrics;
+  }

@@ -1,0 +1,109 @@
+(** The unified online simulation core.
+
+    One event loop drives every discrete-event simulation in this
+    repository: graph reveal on precedence satisfaction, deferred reveals on
+    release times, batched simultaneous completions (ulp-tolerant, see
+    {!Event_queue.pop_simultaneous}), greedy launch rounds against the
+    policy, and per-attempt fault injection with retry accounting.
+    {!Engine} ([never] failures) and {!Failure_engine} are thin
+    instantiations — the three hand-copied loops they used to carry had
+    already drifted apart (release times, [Schedule.t] and traces existed
+    only in one of them).
+
+    The loop processes each scheduling instant in three phases so the
+    policy always sees the full free count and ready set of the instant:
+    (1) release the processors of every completion in the batch and
+    classify it against the failure model, (2) reveal failed attempts and
+    release-time reveals in batch order, then newly unblocked successors,
+    (3) run a launch round until the policy declines or no processor is
+    free.
+
+    Every run is instrumented: see {!Metrics}. *)
+
+open Moldable_util
+open Moldable_model
+open Moldable_graph
+
+type policy = {
+  name : string;
+  on_ready : now:float -> Task.t -> unit;
+      (** A task became available (first reveal, or re-reveal after a failed
+          attempt); its parameters are now visible. *)
+  next_launch : now:float -> free:int -> (int * int) option;
+      (** [Some (task_id, nprocs)] to start that task immediately, or
+          [None] to wait.  Called again after each launch with the updated
+          free count. *)
+}
+
+exception Policy_error of string
+(** The policy launched a task that is not ready, exceeded the free
+    processor count, or stalled with ready tasks and no running work. *)
+
+type failure_model = {
+  model_name : string;
+  fails : Rng.t -> task_id:int -> attempt:int -> bool;
+      (** Decides whether the [attempt]-th execution (1-based) of the task
+          fails.  Consulted once per completed attempt, in batch order, so
+          runs with a fixed seed are reproducible. *)
+}
+
+val never : failure_model
+(** No attempt ever fails (and the RNG is never consumed). *)
+
+val bernoulli : q:float -> failure_model
+(** Each attempt fails independently with probability [q] in [\[0, 1)]. *)
+
+val at_most : k:int -> failure_model
+(** Deterministic: the first [k] attempts of every task fail, the next
+    succeeds — handy for exact makespan assertions in tests. *)
+
+type event =
+  | Ready of int        (** Task revealed (or re-revealed after a failure). *)
+  | Start of int * int  (** Task id, allocation. *)
+  | Finish of int       (** Successful completion. *)
+  | Failed of int * int (** Task id, 1-based attempt that failed. *)
+
+type attempt = {
+  task_id : int;
+  attempt : int;      (** 1-based attempt number. *)
+  start : float;
+  finish : float;     (** The batch instant at which the attempt ended. *)
+  nprocs : int;
+  procs : int array;
+  failed : bool;
+}
+
+type result = {
+  schedule : Schedule.t;
+      (** One placement per task: its successful attempt. *)
+  trace : (float * event) list;  (** Chronological. *)
+  attempts : attempt list;
+      (** Chronological (by start, then task id and attempt). *)
+  makespan : float;
+  n_attempts : int;
+  n_failures : int;
+  metrics : Metrics.t;
+}
+
+val run :
+  ?release_times:float array ->
+  ?seed:int ->
+  ?max_attempts:int ->
+  ?failures:failure_model ->
+  p:int ->
+  policy ->
+  Dag.t ->
+  result
+(** Simulates the policy on the graph with [p] processors.
+
+    [release_times] (indexed by task id, non-negative, length [Dag.n])
+    delays the reveal of each task to the maximum of its release time and
+    the completion of its last predecessor.  [seed] (default 0) seeds the
+    failure RNG.  [max_attempts] (default unlimited) bounds the attempts
+    per task; the bound is checked {e before} any processor is acquired or
+    event queued, and the error names the task, its attempt count and the
+    failure model.  [failures] defaults to {!never}.
+
+    @raise Policy_error on policy misbehaviour.
+    @raise Invalid_argument on ill-formed release times or [max_attempts].
+    @raise Failure when a task would exceed [max_attempts]. *)

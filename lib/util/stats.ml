@@ -8,10 +8,21 @@ type summary = {
   p95 : float;
 }
 
+(* A single NaN used to scramble [percentile]'s polymorphic sort and
+   propagate silently through every aggregate; non-finite samples are
+   rejected up front so corrupt inputs fail loudly. *)
+let check_finite name xs =
+  List.iter
+    (fun x ->
+      if not (Float.is_finite x) then
+        invalid_arg (Printf.sprintf "%s: non-finite sample %h" name x))
+    xs
+
 let mean xs =
   match xs with
   | [] -> invalid_arg "Stats.mean: empty sample"
   | _ ->
+    check_finite "Stats.mean" xs;
     let total = List.fold_left ( +. ) 0. xs in
     total /. float_of_int (List.length xs)
 
@@ -28,11 +39,12 @@ let percentile q xs =
   | [] -> invalid_arg "Stats.percentile: empty sample"
   | _ ->
     if q < 0. || q > 1. then invalid_arg "Stats.percentile: q out of [0,1]";
+    check_finite "Stats.percentile" xs;
     let arr = Array.of_list xs in
-    Array.sort compare arr;
+    Array.sort Float.compare arr;
     let n = Array.length arr in
     let pos = q *. float_of_int (n - 1) in
-    let i = int_of_float (Float.of_int (int_of_float pos)) in
+    let i = int_of_float pos in
     let frac = pos -. float_of_int i in
     if i + 1 >= n then arr.(n - 1)
     else arr.(i) +. (frac *. (arr.(i + 1) -. arr.(i)))
@@ -41,6 +53,7 @@ let summarize xs =
   match xs with
   | [] -> invalid_arg "Stats.summarize: empty sample"
   | _ ->
+    check_finite "Stats.summarize" xs;
     {
       n = List.length xs;
       mean = mean xs;

@@ -11,13 +11,18 @@ type summary = {
 }
 
 val summarize : float list -> summary
-(** Summary of a non-empty sample.
-    @raise Invalid_argument on an empty list. *)
+(** Summary of a non-empty sample of finite floats.
+    @raise Invalid_argument on an empty list or a non-finite sample. *)
 
 val mean : float list -> float
+(** @raise Invalid_argument on an empty list or a non-finite sample. *)
+
 val stddev : float list -> float
 val percentile : float -> float list -> float
-(** [percentile q xs] with [q] in [\[0, 1\]], linear interpolation. *)
+(** [percentile q xs] with [q] in [\[0, 1\]], linear interpolation.  Sorts
+    with [Float.compare].
+    @raise Invalid_argument on an empty list, [q] outside [\[0, 1\]], or a
+    non-finite sample. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 (** Renders ["mean=… sd=… min=… med=… p95=… max=… (n=…)"]. *)

@@ -1,0 +1,736 @@
+(* Differential tests pinning the unified simulation core (Sim_core) to the
+   two pre-refactor engines, plus metrics invariants and regression tests
+   for the validation/stats bugs fixed alongside the unification.
+
+   [Seed_engine] and [Seed_failure_engine] below are verbatim copies of the
+   event loops that lib/sim/engine.ml and lib/sim/failure_engine.ml carried
+   before the refactor; the qcheck properties prove the unified core
+   trace-equivalent (resp. attempt-equivalent) to them across all five
+   priority rules, with and without release times, and under all three
+   failure models. *)
+
+open Moldable_model
+open Moldable_graph
+open Moldable_sim
+open Moldable_util
+open Moldable_core
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------- seed oracle: Engine.run *)
+
+module Seed_engine = struct
+  type task_state = Unrevealed | Available | Running | Done
+  type sim_event = Complete of int * int array | Reveal of int
+
+  let run ?release_times ~p policy dag =
+    let n = Dag.n dag in
+    (match release_times with
+    | None -> ()
+    | Some r ->
+      if Array.length r <> n then
+        invalid_arg "Engine.run: release_times length must equal task count";
+      Array.iter
+        (fun t ->
+          if not (Float.is_finite t) || t < 0. then
+            invalid_arg "Engine.run: release times must be finite and >= 0")
+        r);
+    let release i =
+      match release_times with None -> 0. | Some r -> r.(i)
+    in
+    let platform = Platform.create p in
+    let builder = Schedule.builder ~p ~n in
+    let events = Event_queue.create () in
+    let state = Array.make n Unrevealed in
+    let indeg = Array.init n (Dag.in_degree dag) in
+    let completed = ref 0 in
+    let trace = ref [] in
+    let record now ev = trace := (now, ev) :: !trace in
+    let fail fmt =
+      Printf.ksprintf
+        (fun s -> raise (Engine.Policy_error (policy.Engine.name ^ ": " ^ s)))
+        fmt
+    in
+    let reveal now i =
+      state.(i) <- Available;
+      record now (Engine.Ready i);
+      policy.Engine.on_ready ~now (Dag.task dag i)
+    in
+    let reveal_or_defer now i =
+      if release i <= now then reveal now i
+      else Event_queue.add events ~time:(release i) (Reveal i)
+    in
+    let launch_round now =
+      let rec loop () =
+        let free = Platform.free_count platform in
+        if free > 0 then
+          match policy.Engine.next_launch ~now ~free with
+          | None -> ()
+          | Some (tid, nprocs) ->
+            if tid < 0 || tid >= n then fail "launched unknown task %d" tid;
+            (match state.(tid) with
+            | Available -> ()
+            | Unrevealed -> fail "launched unrevealed task %d" tid
+            | Running | Done -> fail "launched task %d twice" tid);
+            if nprocs < 1 then fail "task %d launched on %d procs" tid nprocs;
+            if nprocs > free then
+              fail "task %d needs %d procs but only %d are free" tid nprocs
+                free;
+            let procs = Platform.acquire platform nprocs in
+            let duration = Task.time (Dag.task dag tid) nprocs in
+            state.(tid) <- Running;
+            record now (Engine.Start (tid, nprocs));
+            Schedule.add builder
+              {
+                Schedule.task_id = tid;
+                start = now;
+                finish = now +. duration;
+                nprocs;
+                procs;
+              };
+            Event_queue.add events
+              ~time:(now +. duration)
+              (Complete (tid, procs));
+            loop ()
+      in
+      loop ()
+    in
+    List.iter (reveal_or_defer 0.) (Dag.sources dag);
+    launch_round 0.;
+    while !completed < n do
+      match Event_queue.pop_simultaneous events with
+      | None ->
+        fail "stalled: %d of %d tasks completed but nothing is running"
+          !completed n
+      | Some (now, batch) ->
+        let finished =
+          List.filter_map
+            (function
+              | Complete (tid, procs) ->
+                Platform.release platform procs;
+                state.(tid) <- Done;
+                incr completed;
+                record now (Engine.Finish tid);
+                Some tid
+              | Reveal _ -> None)
+            batch
+        in
+        List.iter
+          (function Reveal i -> reveal now i | Complete _ -> ())
+          batch;
+        List.iter
+          (fun tid ->
+            List.iter
+              (fun j ->
+                indeg.(j) <- indeg.(j) - 1;
+                if indeg.(j) = 0 then reveal_or_defer now j)
+              (Dag.successors dag tid))
+          finished;
+        launch_round now
+    done;
+    (Schedule.finalize builder, List.rev !trace)
+end
+
+(* ----------------------------------------- seed oracle: Failure_engine.run *)
+
+module Seed_failure_engine = struct
+  type task_state = Unrevealed | Available | Running | Done
+
+  let run ?(seed = 0) ?(max_attempts = 1000) ~failures ~p policy dag =
+    let n = Dag.n dag in
+    let rng = Rng.create seed in
+    let platform = Platform.create p in
+    let events = Event_queue.create () in
+    let state = Array.make n Unrevealed in
+    let indeg = Array.init n (Dag.in_degree dag) in
+    let attempt_no = Array.make n 0 in
+    let completed = ref 0 in
+    let attempts = ref [] in
+    let fail fmt =
+      Printf.ksprintf
+        (fun s -> raise (Engine.Policy_error (policy.Engine.name ^ ": " ^ s)))
+        fmt
+    in
+    let reveal now i =
+      state.(i) <- Available;
+      policy.Engine.on_ready ~now (Dag.task dag i)
+    in
+    let launch_round now =
+      let rec loop () =
+        let free = Platform.free_count platform in
+        if free > 0 then
+          match policy.Engine.next_launch ~now ~free with
+          | None -> ()
+          | Some (tid, nprocs) ->
+            if tid < 0 || tid >= n then fail "launched unknown task %d" tid;
+            (match state.(tid) with
+            | Available -> ()
+            | Unrevealed -> fail "launched unrevealed task %d" tid
+            | Running -> fail "launched running task %d" tid
+            | Done -> fail "launched completed task %d" tid);
+            if nprocs < 1 || nprocs > free then
+              fail "task %d launched on %d procs with %d free" tid nprocs free;
+            let procs = Platform.acquire platform nprocs in
+            let duration = Task.time (Dag.task dag tid) nprocs in
+            state.(tid) <- Running;
+            attempt_no.(tid) <- attempt_no.(tid) + 1;
+            if attempt_no.(tid) > max_attempts then
+              failwith
+                (Printf.sprintf
+                   "Failure_engine.run: task %d exceeded %d attempts" tid
+                   max_attempts);
+            Event_queue.add events
+              ~time:(now +. duration)
+              (tid, attempt_no.(tid), now, procs);
+            loop ()
+      in
+      loop ()
+    in
+    List.iter (reveal 0.) (Dag.sources dag);
+    launch_round 0.;
+    while !completed < n do
+      match Event_queue.pop_simultaneous events with
+      | None ->
+        fail "stalled: %d of %d tasks completed but nothing is running"
+          !completed n
+      | Some (now, batch) ->
+        let succeeded = ref [] in
+        List.iter
+          (fun (tid, attempt, start, procs) ->
+            Platform.release platform procs;
+            let failed =
+              failures.Failure_engine.fails rng ~task_id:tid ~attempt
+            in
+            attempts :=
+              {
+                Failure_engine.task_id = tid;
+                attempt;
+                start;
+                finish = now;
+                nprocs = Array.length procs;
+                procs;
+                failed;
+              }
+              :: !attempts;
+            if failed then reveal now tid
+            else begin
+              state.(tid) <- Done;
+              incr completed;
+              succeeded := tid :: !succeeded
+            end)
+          batch;
+        List.iter
+          (fun tid ->
+            List.iter
+              (fun j ->
+                indeg.(j) <- indeg.(j) - 1;
+                if indeg.(j) = 0 then reveal now j)
+              (Dag.successors dag tid))
+          (List.rev !succeeded);
+        launch_round now
+    done;
+    let attempts =
+      List.sort
+        (fun (a : Failure_engine.attempt) (b : Failure_engine.attempt) ->
+          match compare a.Failure_engine.start b.Failure_engine.start with
+          | 0 ->
+            compare
+              (a.Failure_engine.task_id, a.Failure_engine.attempt)
+              (b.Failure_engine.task_id, b.Failure_engine.attempt)
+          | c -> c)
+        !attempts
+    in
+    attempts
+end
+
+(* ------------------------------------------------------- shared generators *)
+
+let random_dag rng =
+  let kind =
+    Rng.choose rng
+      [| Speedup.Kind_roofline; Speedup.Kind_communication;
+         Speedup.Kind_amdahl; Speedup.Kind_general |]
+  in
+  Moldable_workloads.Random_dag.layered ~rng ~n_layers:4 ~width:5
+    ~edge_prob:0.3 ~kind ()
+
+let fresh_policy ~priority ~p () =
+  Online_scheduler.policy ~priority ~allocator:Allocator.algorithm2_per_model
+    ~p ()
+
+let same_schedule a b =
+  Schedule.n a = Schedule.n b
+  && List.for_all
+       (fun i ->
+         let pa = Schedule.placement a i and pb = Schedule.placement b i in
+         Float.equal pa.Schedule.start pb.Schedule.start
+         && Float.equal pa.Schedule.finish pb.Schedule.finish
+         && pa.Schedule.nprocs = pb.Schedule.nprocs
+         && pa.Schedule.procs = pb.Schedule.procs)
+       (List.init (Schedule.n a) (fun i -> i))
+
+(* -------------------------------------------- core vs seed engine (traces) *)
+
+let prop_core_trace_equivalent_to_seed_engine =
+  QCheck.Test.make
+    ~name:"unified core trace-equivalent to seed Engine.run (5 rules, +/- \
+           release times)"
+    ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let dag = random_dag rng in
+      let p = Rng.int_range rng 2 32 in
+      let release_times =
+        if Rng.bool rng then
+          Some (Array.init (Dag.n dag) (fun _ -> Rng.float rng 5.))
+        else None
+      in
+      List.for_all
+        (fun priority ->
+          let expected_sched, expected_trace =
+            Seed_engine.run ?release_times ~p
+              (fresh_policy ~priority ~p ())
+              dag
+          in
+          let actual =
+            Engine.run ?release_times ~p (fresh_policy ~priority ~p ()) dag
+          in
+          actual.Engine.trace = expected_trace
+          && same_schedule actual.Engine.schedule expected_sched)
+        Priority.all)
+
+(* ---------------------------------- core vs seed failure engine (attempts) *)
+
+let prop_core_attempt_equivalent_to_seed_failure_engine =
+  QCheck.Test.make
+    ~name:"unified core attempt-equivalent to seed Failure_engine.run \
+           (never/bernoulli/at_most)"
+    ~count:40
+    QCheck.(pair (int_range 0 1_000_000) (int_range 0 2))
+    (fun (seed, model_idx) ->
+      let rng = Rng.create seed in
+      let dag = random_dag rng in
+      let p = Rng.int_range rng 2 32 in
+      let failures =
+        match model_idx with
+        | 0 -> Failure_engine.never
+        | 1 -> Failure_engine.bernoulli ~q:(Rng.float rng 0.6)
+        | _ -> Failure_engine.at_most ~k:(Rng.int_range rng 0 3)
+      in
+      List.for_all
+        (fun priority ->
+          let expected =
+            Seed_failure_engine.run ~seed ~failures ~p
+              (fresh_policy ~priority ~p ())
+              dag
+          in
+          let actual =
+            Failure_engine.run ~seed ~failures ~p
+              (fresh_policy ~priority ~p ())
+              dag
+          in
+          actual.Failure_engine.attempts = expected)
+        Priority.all)
+
+(* ------------------------------------- failure runs regained the extras *)
+
+let test_failure_run_returns_schedule_and_trace () =
+  let rng = Rng.create 42 in
+  let dag = random_dag rng in
+  let p = 8 in
+  let r =
+    Failure_engine.run ~seed:3
+      ~failures:(Failure_engine.bernoulli ~q:0.3)
+      ~p
+      (fresh_policy ~priority:Priority.fifo ~p ())
+      dag
+  in
+  Failure_engine.validate_exn ~dag ~p r;
+  (* The schedule holds exactly the successful attempt of every task. *)
+  Alcotest.(check int) "one placement per task" (Dag.n dag)
+    (Schedule.n r.Failure_engine.schedule);
+  List.iter
+    (fun (a : Failure_engine.attempt) ->
+      if not a.Failure_engine.failed then
+        check_float "schedule start = successful attempt start"
+          a.Failure_engine.start
+          (Schedule.placement r.Failure_engine.schedule a.Failure_engine.task_id)
+            .Schedule.start)
+    r.Failure_engine.attempts;
+  (* The trace records a Failed event per failed attempt and a Finish per
+     task. *)
+  let count f = List.length (List.filter f r.Failure_engine.trace) in
+  Alcotest.(check int) "Failed events"
+    r.Failure_engine.n_failures
+    (count (function _, Sim_core.Failed _ -> true | _ -> false));
+  Alcotest.(check int) "Finish events" (Dag.n dag)
+    (count (function _, Sim_core.Finish _ -> true | _ -> false))
+
+let test_failure_run_accepts_release_times () =
+  let n = 4 in
+  let tasks =
+    List.init n (fun id -> Task.make ~id (Speedup.Roofline { w = 1.; ptilde = 1 }))
+  in
+  let dag = Dag.create ~tasks ~edges:[] in
+  let releases = [| 0.; 2.; 4.; 6. |] in
+  let p = 4 in
+  let r =
+    Failure_engine.run ~release_times:releases
+      ~failures:(Failure_engine.at_most ~k:1)
+      ~p
+      (fresh_policy ~priority:Priority.fifo ~p ())
+      dag
+  in
+  Failure_engine.validate_exn ~dag ~p r;
+  for i = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "task %d starts at/after release" i)
+      true
+      ((Schedule.placement r.Failure_engine.schedule i).Schedule.start
+      >= releases.(i) -. 1e-9)
+  done;
+  (* Each task fails once, so its successful attempt starts one duration
+     after its release. *)
+  check_float "first task retried" 1.
+    (Schedule.placement r.Failure_engine.schedule 0).Schedule.start
+
+(* -------------------------------------------------------- metrics invariants *)
+
+let metrics_fixture () =
+  let rng = Rng.create 7 in
+  let dag = random_dag rng in
+  let p = 8 in
+  let r =
+    Online_scheduler.run_instrumented ~seed:5
+      ~failures:(Sim_core.bernoulli ~q:0.25) ~p dag
+  in
+  (dag, r)
+
+let test_metrics_launches_accounting () =
+  let dag, r = metrics_fixture () in
+  let m = r.Sim_core.metrics in
+  Alcotest.(check int) "launches = n + retries"
+    (Dag.n dag + m.Metrics.counters.Metrics.retries)
+    m.Metrics.counters.Metrics.launches;
+  Alcotest.(check int) "launches = attempts" r.Sim_core.n_attempts
+    m.Metrics.counters.Metrics.launches;
+  Alcotest.(check int) "retries = failures" r.Sim_core.n_failures
+    m.Metrics.counters.Metrics.retries
+
+let test_metrics_utilization_integral () =
+  let _, r = metrics_fixture () in
+  let m = r.Sim_core.metrics in
+  let area_of_attempts =
+    List.fold_left
+      (fun acc (a : Sim_core.attempt) ->
+        acc
+        +. (float_of_int a.Sim_core.nprocs
+           *. (a.Sim_core.finish -. a.Sim_core.start)))
+      0. r.Sim_core.attempts
+  in
+  Alcotest.(check bool) "utilization integral = total attempt area" true
+    (Fcmp.approx ~eps:1e-6 (Metrics.busy_area m) area_of_attempts);
+  Alcotest.(check bool) "average utilization in [0, 1]" true
+    (Metrics.average_utilization m >= 0. && Metrics.average_utilization m <= 1.)
+
+let test_metrics_waits_nonnegative () =
+  let _, r = metrics_fixture () in
+  let m = r.Sim_core.metrics in
+  Array.iter
+    (fun (ts : Metrics.task_stat) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "task %d wait >= 0" ts.Metrics.task_id)
+        true
+        (ts.Metrics.wait >= 0.);
+      Alcotest.(check bool)
+        (Printf.sprintf "task %d service > 0" ts.Metrics.task_id)
+        true
+        (ts.Metrics.service > 0.);
+      Alcotest.(check bool)
+        (Printf.sprintf "task %d attempts >= 1" ts.Metrics.task_id)
+        true (ts.Metrics.attempts >= 1))
+    m.Metrics.tasks
+
+let test_metrics_queue_depth_samples () =
+  let _, r = metrics_fixture () in
+  let m = r.Sim_core.metrics in
+  (* One sample at time 0 plus one per processed batch, all non-negative. *)
+  Alcotest.(check int) "sample count"
+    (m.Metrics.counters.Metrics.batches + 1)
+    (List.length m.Metrics.queue_depth);
+  Alcotest.(check bool) "depths non-negative" true
+    (List.for_all (fun (_, d) -> d >= 0) m.Metrics.queue_depth)
+
+let test_metrics_exports_well_formed () =
+  let _, r = metrics_fixture () in
+  let m = r.Sim_core.metrics in
+  let json = Metrics.to_json m in
+  Alcotest.(check bool) "json mentions counters" true
+    (String.length json > 0
+    && String.sub json 0 1 = "{"
+    && json.[String.length json - 1] = '\n');
+  let csv = Metrics.utilization_csv m in
+  Alcotest.(check bool) "csv has header and rows" true
+    (String.length csv > String.length "t0,t1,busy\n");
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "one row per segment"
+    (List.length m.Metrics.utilization)
+    (List.length lines - 1)
+
+(* ----------------------------------------------- max_attempts guard report *)
+
+let test_max_attempts_error_is_descriptive () =
+  let dag =
+    Dag.create
+      ~tasks:[ Task.make ~id:0 (Speedup.Roofline { w = 1.; ptilde = 1 }) ]
+      ~edges:[]
+  in
+  let p = 1 in
+  match
+    Failure_engine.run ~max_attempts:3
+      ~failures:(Failure_engine.at_most ~k:10)
+      ~p
+      (fresh_policy ~priority:Priority.fifo ~p ())
+      dag
+  with
+  | _ -> Alcotest.fail "expected the attempt limit to trip"
+  | exception Failure msg ->
+    let has sub =
+      let n = String.length msg and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "names the task" true (has "task 0");
+    Alcotest.(check bool) "names the limit" true (has "(3 attempts");
+    Alcotest.(check bool) "names the failure model" true (has "at-most(10)")
+
+(* ------------------------------------------ validate: NaN predecessor bug *)
+
+let test_validate_flags_never_succeeded_predecessor () =
+  (* Task 0 only ever failed; task 1 (its successor) ran anyway.  The seed
+     validator compared starts against NaN, so the precedence violation was
+     silently accepted. *)
+  let tasks =
+    List.init 2 (fun id -> Task.make ~id (Speedup.Roofline { w = 1.; ptilde = 1 }))
+  in
+  let dag = Dag.create ~tasks ~edges:[ (0, 1) ] in
+  let p = 2 in
+  let attempt ~task_id ~attempt ~start ~procs ~failed =
+    {
+      Failure_engine.task_id;
+      attempt;
+      start;
+      finish = start +. 1.;
+      nprocs = Array.length procs;
+      procs;
+      failed;
+    }
+  in
+  let attempts =
+    [
+      attempt ~task_id:0 ~attempt:1 ~start:0. ~procs:[| 0 |] ~failed:true;
+      attempt ~task_id:1 ~attempt:1 ~start:1. ~procs:[| 1 |] ~failed:false;
+    ]
+  in
+  let builder = Schedule.builder ~p ~n:2 in
+  List.iteri
+    (fun i start ->
+      Schedule.add builder
+        { Schedule.task_id = i; start; finish = start +. 1.; nprocs = 1;
+          procs = [| i |] })
+    [ 0.; 1. ];
+  let result =
+    {
+      Failure_engine.attempts;
+      schedule = Schedule.finalize builder;
+      trace = [];
+      metrics =
+        Metrics.build ~p ~counters:(Metrics.make_counters ()) ~queue_depth:[]
+          ~tasks:[||] ~spans:[];
+      makespan = 2.;
+      n_attempts = 2;
+      n_failures = 1;
+    }
+  in
+  match Failure_engine.validate ~dag ~p result with
+  | Ok () -> Alcotest.fail "validator accepted a never-succeeded predecessor"
+  | Error es ->
+    Alcotest.(check bool) "reports the phantom precedence" true
+      (List.exists
+         (fun e ->
+           let has sub =
+             let n = String.length e and m = String.length sub in
+             let rec go i = i + m <= n && (String.sub e i m = sub || go (i + 1)) in
+             go 0
+           in
+           has "predecessor 0 never succeeded")
+         es)
+
+(* ------------------------------------- malleable engine: FIFO refactor *)
+
+module Seed_malleable = struct
+  (* The seed's list-based equal_share loop (O(n^2) FIFO), kept as the
+     oracle for the queue-based rewrite.  [water_fill] is copied too since
+     the library does not export it. *)
+  let water_fill ~p tasks_with_caps =
+    let n = List.length tasks_with_caps in
+    if n = 0 then []
+    else begin
+      let alloc = Hashtbl.create n in
+      let remaining = ref p in
+      let active = ref tasks_with_caps in
+      let continue = ref true in
+      while !continue && !active <> [] && !remaining > 0 do
+        let m = List.length !active in
+        let share = max 1 (!remaining / m) in
+        let next_active = ref [] in
+        let gave = ref false in
+        List.iter
+          (fun (id, cap) ->
+            let current =
+              Option.value ~default:0 (Hashtbl.find_opt alloc id)
+            in
+            let want = min cap (current + share) in
+            let give = min (want - current) !remaining in
+            if give > 0 then begin
+              Hashtbl.replace alloc id (current + give);
+              remaining := !remaining - give;
+              gave := true
+            end;
+            if current + give < cap then
+              next_active := (id, cap) :: !next_active)
+          !active;
+        active := List.rev !next_active;
+        if not !gave then continue := false
+      done;
+      List.filter_map
+        (fun (id, _) ->
+          match Hashtbl.find_opt alloc id with
+          | Some q when q > 0 -> Some (id, q)
+          | Some _ | None -> None)
+        tasks_with_caps
+    end
+
+  let equal_share ~p dag =
+    let n = Dag.n dag in
+    let indeg = Array.init n (Dag.in_degree dag) in
+    let remaining = Array.make n 1.0 in
+    let completion = Array.make n nan in
+    let available = ref [] in
+    let reveal i = available := !available @ [ i ] in
+    List.iter reveal (Dag.sources dag);
+    let phases = ref [] in
+    let now = ref 0. in
+    let completed = ref 0 in
+    while !completed < n do
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | x :: rest -> x :: take (k - 1) rest
+      in
+      let active = take p !available in
+      if active = [] then
+        failwith "Malleable_engine.equal_share: stalled with tasks remaining";
+      let caps =
+        List.map
+          (fun i -> (i, (Task.analyze ~p (Dag.task dag i)).Task.p_max))
+          active
+      in
+      let allocs = water_fill ~p caps in
+      let rates =
+        List.map
+          (fun (i, q) -> (i, 1. /. Task.time (Dag.task dag i) q))
+          allocs
+      in
+      let dt =
+        List.fold_left
+          (fun acc (i, rate) -> Float.min acc (remaining.(i) /. rate))
+          infinity rates
+      in
+      if not (Float.is_finite dt) then
+        failwith "Malleable_engine.equal_share: no progress possible";
+      let t0 = !now and t1 = !now +. dt in
+      phases := { Malleable_engine.t0; t1; allocs } :: !phases;
+      now := t1;
+      let finished = ref [] in
+      List.iter
+        (fun (i, rate) ->
+          remaining.(i) <- remaining.(i) -. (rate *. dt);
+          if remaining.(i) <= 1e-12 then begin
+            remaining.(i) <- 0.;
+            completion.(i) <- t1;
+            finished := i :: !finished
+          end)
+        rates;
+      let finished = List.rev !finished in
+      available := List.filter (fun i -> not (List.mem i finished)) !available;
+      List.iter
+        (fun i ->
+          incr completed;
+          List.iter
+            (fun j ->
+              indeg.(j) <- indeg.(j) - 1;
+              if indeg.(j) = 0 then reveal j)
+            (Dag.successors dag i))
+        finished
+    done;
+    (List.rev !phases, !now, completion)
+end
+
+let prop_malleable_phases_unchanged =
+  QCheck.Test.make
+    ~name:"queue-based equal_share reproduces the seed's phase sequence"
+    ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let dag = random_dag rng in
+      let p = Rng.int_range rng 2 32 in
+      let expected_phases, expected_makespan, expected_completion =
+        Seed_malleable.equal_share ~p dag
+      in
+      let r = Malleable_engine.equal_share ~p dag in
+      r.Malleable_engine.phases = expected_phases
+      && Float.equal r.Malleable_engine.makespan expected_makespan
+      && r.Malleable_engine.completion = expected_completion)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim_core"
+    [
+      ( "differential",
+        [
+          qt prop_core_trace_equivalent_to_seed_engine;
+          qt prop_core_attempt_equivalent_to_seed_failure_engine;
+        ] );
+      ( "failure extras",
+        [
+          Alcotest.test_case "schedule and trace" `Quick
+            test_failure_run_returns_schedule_and_trace;
+          Alcotest.test_case "release times" `Quick
+            test_failure_run_accepts_release_times;
+          Alcotest.test_case "max_attempts report" `Quick
+            test_max_attempts_error_is_descriptive;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "launch accounting" `Quick
+            test_metrics_launches_accounting;
+          Alcotest.test_case "utilization integral" `Quick
+            test_metrics_utilization_integral;
+          Alcotest.test_case "waits non-negative" `Quick
+            test_metrics_waits_nonnegative;
+          Alcotest.test_case "queue depth samples" `Quick
+            test_metrics_queue_depth_samples;
+          Alcotest.test_case "exports well-formed" `Quick
+            test_metrics_exports_well_formed;
+        ] );
+      ( "validate regression",
+        [
+          Alcotest.test_case "NaN predecessor flagged" `Quick
+            test_validate_flags_never_succeeded_predecessor;
+        ] );
+      ( "malleable",
+        [ qt prop_malleable_phases_unchanged ] );
+    ]

@@ -376,6 +376,28 @@ let test_stats_empty () =
     (Invalid_argument "Stats.summarize: empty sample") (fun () ->
       ignore (Stats.summarize []))
 
+(* A single NaN used to scramble [percentile]'s sort (polymorphic [compare]
+   on floats) and flow silently through every aggregate; non-finite samples
+   must now be rejected up front. *)
+let test_stats_rejects_non_finite () =
+  let expect_invalid name f =
+    match f () with
+    | (_ : float) -> Alcotest.failf "%s accepted a non-finite sample" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "mean nan" (fun () -> Stats.mean [ 1.; nan; 3. ]);
+  expect_invalid "mean inf" (fun () -> Stats.mean [ 1.; infinity ]);
+  expect_invalid "percentile nan" (fun () ->
+      Stats.percentile 0.5 [ nan; 1.; 2. ]);
+  expect_invalid "summarize nan" (fun () ->
+      (Stats.summarize [ 2.; nan; 1. ]).Stats.median)
+
+let test_stats_percentile_order_robust () =
+  (* Regression for the polymorphic-compare sort: negative and denormal
+     values must order numerically. *)
+  check_float "negative median" (-1.) (Stats.percentile 0.5 [ 3.; -1.; -5. ]);
+  check_float "p0 negative" (-5.) (Stats.percentile 0. [ 3.; -1.; -5. ])
+
 (* --------------------------------------------------------------- Texttab *)
 
 let test_texttab_renders () =
@@ -480,6 +502,10 @@ let () =
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "summary" `Quick test_stats_summary;
           Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "rejects non-finite" `Quick
+            test_stats_rejects_non_finite;
+          Alcotest.test_case "percentile order" `Quick
+            test_stats_percentile_order_robust;
         ] );
       ( "texttab",
         [
