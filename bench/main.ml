@@ -19,6 +19,23 @@ let section title =
   let bar = String.make 72 '=' in
   Printf.printf "\n%s\n%s\n%s\n\n%!" bar title bar
 
+(* Machine-readable perf trajectory: every top-level section records its
+   wall-clock time, and the hot-path scalability section additionally
+   records its per-configuration timings; both are written to
+   paper_artifacts/BENCH_scaling.json at the end of the run so regressions
+   are diffable across PRs. *)
+let section_timings : (string * float) list ref = ref []
+
+type scaling_row = {
+  sc_workload : string;
+  sc_tasks : int;
+  sc_p : int;
+  sc_heap_s : float;
+  sc_reference_s : float option;
+}
+
+let scaling_rows : scaling_row list ref = ref []
+
 let artifacts_dir = "paper_artifacts"
 
 let write_artifact name content =
@@ -814,6 +831,99 @@ let lemmas_section () =
   Printf.printf "Lemma 3/4/5 inequalities held on %d / %d runs.\n" !held !total;
   assert (!held = !total)
 
+(* ------------------------------------------------- Decision-level tracing *)
+
+let tracing_section () =
+  section
+    "Decision-level tracing — allocation provenance, execution spans and \
+     ratio accounting on a traced Algorithm 1 run (Tracer.null runs are \
+     schedule-identical and pay only a branch per hook)";
+  let rng = Rng.create 20_230_829 in
+  let p = 64 in
+  let dag =
+    Moldable_workloads.Linalg.cholesky ~rng ~tiles:8 ~kind:Speedup.Kind_amdahl
+      ()
+  in
+  let label i = (Dag.task dag i).Task.label in
+  let tracer = Moldable_sim.Tracer.create () in
+  let traced = Online_scheduler.run_instrumented ~tracer ~p dag in
+  let untraced = Online_scheduler.run_instrumented ~p dag in
+  (* Tracing must be observation-only. *)
+  assert (
+    Float.equal
+      (Schedule.makespan traced.Sim_core.schedule)
+      (Schedule.makespan untraced.Sim_core.schedule));
+  Printf.printf "traced run: %d decisions, %d spans, %d instants\n"
+    (Moldable_sim.Tracer.n_decisions tracer)
+    (Moldable_sim.Tracer.n_spans tracer)
+    (List.length (Moldable_sim.Tracer.instants tracer));
+  (* The capped decisions are the interesting provenance: print one. *)
+  (match
+     List.find_opt
+       (fun (d : Moldable_sim.Tracer.decision) -> d.Moldable_sim.Tracer.cap_applied)
+       (Moldable_sim.Tracer.decisions tracer)
+   with
+  | Some d ->
+    Printf.printf "\nexample capped decision:\n%s"
+      (Format.asprintf "%a" Moldable_sim.Tracer.pp_decision d)
+  | None -> print_string "\n(no decision hit the ceil(mu P) cap)\n");
+  Printf.printf "\nself-profile of the traced run:\n%s"
+    (Format.asprintf "%a" Moldable_sim.Tracer.pp_profile tracer);
+  write_artifact "trace_cholesky_chrome.json"
+    (Moldable_viz.Chrome_trace.of_run ~label tracer traced.Sim_core.metrics);
+  write_artifact "trace_cholesky_gantt.svg"
+    (Moldable_viz.Svg.of_schedule ~label traced.Sim_core.schedule);
+  (* Ratio accounting across workload families, checked against Table 1. *)
+  let entries =
+    List.concat_map
+      (fun kind ->
+        List.map
+          (fun (workload, dag) ->
+            let makespan = Online_scheduler.makespan ~p dag in
+            Ratio_report.of_run ~workload ~p ~makespan dag)
+          [
+            ( "layered",
+              Moldable_workloads.Random_dag.layered ~rng ~n_layers:6 ~width:8
+                ~edge_prob:0.25 ~kind () );
+            ( "cholesky",
+              Moldable_workloads.Linalg.cholesky ~rng ~tiles:7 ~kind () );
+            ( "montage",
+              Moldable_workloads.Scientific.montage ~rng ~width:16 ~kind () );
+          ])
+      [ Speedup.Kind_roofline; Speedup.Kind_communication;
+        Speedup.Kind_amdahl; Speedup.Kind_general ]
+  in
+  print_newline ();
+  print_string (Ratio_report.table entries);
+  assert (List.for_all (fun e -> e.Ratio_report.within_bound) entries);
+  write_artifact "ratio_report.json" (Ratio_report.to_json entries);
+  (* Null-tracer overhead probe: the same run with and without the tracer
+     argument (both untraced) should cost the same. *)
+  let time_reps f =
+    let reps = 25 in
+    let t0 = Clock.now () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Clock.now () -. t0) /. float_of_int reps
+  in
+  let t_default = time_reps (fun () -> Online_scheduler.run ~p dag) in
+  let t_null =
+    time_reps (fun () ->
+        Online_scheduler.run_instrumented ~tracer:Moldable_sim.Tracer.null ~p
+          dag)
+  in
+  let t_traced =
+    time_reps (fun () ->
+        Online_scheduler.run_instrumented
+          ~tracer:(Moldable_sim.Tracer.create ())
+          ~p dag)
+  in
+  Printf.printf
+    "\nper-run cost: default %.6f s, explicit Tracer.null %.6f s, traced \
+     %.6f s\n"
+    t_default t_null t_traced
+
 (* ------------------------------------------------------------ Scalability *)
 
 let scalability () =
@@ -883,6 +993,12 @@ let scalability_hot_path () =
             dag)
     in
     if n <= 10_000 then Validate.check_exn ~dag heap.Engine.schedule;
+    let record_row reference_s =
+      scaling_rows :=
+        { sc_workload = name; sc_tasks = n; sc_p = p; sc_heap_s = t_heap;
+          sc_reference_s = reference_s }
+        :: !scaling_rows
+    in
     let reference =
       if with_reference then begin
         let r, t_ref =
@@ -902,6 +1018,7 @@ let scalability_hot_path () =
       end
       else None
     in
+    record_row reference;
     Texttab.add_row tab
       [
         name;
@@ -1057,30 +1174,66 @@ let micro_benchmarks () =
       | _ -> Printf.printf "  %-55s (no estimate)\n" name)
     results
 
+(* ------------------------------------------- BENCH_scaling.json emission *)
+
+let scaling_json () =
+  let jf x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null" in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"sections\": [";
+  List.iteri
+    (fun i (name, dt) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\": \"%s\", \"wall_s\": %s}" name (jf dt)))
+    (List.rev !section_timings);
+  Buffer.add_string buf "],\n  \"scaling\": [";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"workload\": \"%s\", \"tasks\": %d, \"p\": %d, \"heap_s\": %s, \
+            \"reference_s\": %s, \"speedup\": %s}"
+           r.sc_workload r.sc_tasks r.sc_p (jf r.sc_heap_s)
+           (match r.sc_reference_s with Some t -> jf t | None -> "null")
+           (match r.sc_reference_s with
+           | Some t -> jf (t /. Float.max 1e-9 r.sc_heap_s)
+           | None -> "null")))
+    (List.rev !scaling_rows);
+  Buffer.add_string buf "]\n}\n";
+  Buffer.contents buf
+
 let () =
   Printf.printf
     "Reproduction harness: Online Scheduling of Moldable Task Graphs under \
      Common Speedup Models (ICPP 2022)\n";
-  table1_upper ();
-  table1_lower ();
-  table1_measured ();
-  convergence_plots ();
-  table2 ();
-  figure1 ();
-  figure2 ();
-  figure3 ();
-  figure4 ();
-  theorem9 ();
-  empirical ();
-  independent_section ();
-  mu_sensitivity ();
-  power_law_section ();
-  failures_section ();
-  release_times_section ();
-  regimes_section ();
-  offline_section ();
-  lemmas_section ();
-  scalability ();
-  scalability_hot_path ();
-  micro_benchmarks ();
+  let timed name f =
+    let t0 = Clock.now () in
+    f ();
+    section_timings := (name, Clock.now () -. t0) :: !section_timings
+  in
+  timed "table1_upper" table1_upper;
+  timed "table1_lower" table1_lower;
+  timed "table1_measured" table1_measured;
+  timed "convergence_plots" convergence_plots;
+  timed "table2" table2;
+  timed "figure1" figure1;
+  timed "figure2" figure2;
+  timed "figure3" figure3;
+  timed "figure4" figure4;
+  timed "theorem9" theorem9;
+  timed "empirical" empirical;
+  timed "independent" independent_section;
+  timed "mu_sensitivity" mu_sensitivity;
+  timed "power_law" power_law_section;
+  timed "failures" failures_section;
+  timed "release_times" release_times_section;
+  timed "regimes" regimes_section;
+  timed "offline" offline_section;
+  timed "lemmas" lemmas_section;
+  timed "tracing" tracing_section;
+  timed "scalability" scalability;
+  timed "scalability_hot_path" scalability_hot_path;
+  timed "micro_benchmarks" micro_benchmarks;
+  write_artifact "BENCH_scaling.json" (scaling_json ());
   Printf.printf "\nAll sections completed.\n"

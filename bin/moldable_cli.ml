@@ -5,6 +5,8 @@
      figure    regenerate a figure (1-4) on stdout (DOT / Gantt)
      theorem9  the Omega(ln D) scaling table
      simulate  generate a workload, schedule it, report and/or draw it
+     trace     run with decision-level tracing (provenance, Chrome trace,
+               Gantt, ratio accounting, self-profile)
      verify    run Algorithm 1 and check the Lemma 3/4/5 inequalities
      sweep     compare policies over random instances *)
 
@@ -317,6 +319,127 @@ let simulate_cmd =
       const run $ kind_arg $ p_arg 64 $ seed_arg $ workload_arg $ size_arg
       $ gantt_arg $ svg_arg $ load_arg $ save_arg $ swf_arg $ metrics_arg)
 
+(* ----------------------------------------------------------------- trace *)
+
+let trace_cmd =
+  let run kind p seed workload n load chrome gantt explain =
+    let rng = Rng.create seed in
+    let dag, workload_name =
+      match load with
+      | Some path -> (
+        match Dag_io.of_file path with
+        | Ok dag -> (dag, Filename.basename path)
+        | Error e ->
+          Printf.eprintf "cannot load %s: %s\n" path e;
+          exit 1)
+      | None ->
+        let name =
+          match workload with
+          | `Layered -> "layered" | `Erdos -> "erdos"
+          | `Independent -> "independent" | `Chain -> "chain"
+          | `Fork_join -> "fork-join" | `Cholesky -> "cholesky"
+          | `Lu -> "lu" | `Montage -> "montage"
+          | `Epigenomics -> "epigenomics" | `Cybershake -> "cybershake"
+          | `Ligo -> "ligo"
+        in
+        (make_workload workload ~rng ~n ~kind, name)
+    in
+    let label i = (Dag.task dag i).Task.label in
+    let tracer = Moldable_sim.Tracer.create () in
+    let result = Online_scheduler.run_instrumented ~tracer ~p dag in
+    Validate.check_exn ~dag result.Sim_core.schedule;
+    let makespan = Schedule.makespan result.Sim_core.schedule in
+    Printf.printf "%s\n" (Format.asprintf "%a" Dag.pp_stats dag);
+    Printf.printf "%s\n"
+      (Format.asprintf "%a" Moldable_sim.Metrics.pp result.Sim_core.metrics);
+    let entry =
+      Ratio_report.of_run ~workload:workload_name ~p ~makespan dag
+    in
+    Printf.printf "%s\n" (Format.asprintf "%a" Ratio_report.pp_entry entry);
+    Printf.printf
+      "trace: %d decision records, %d execution spans, %d instants\n"
+      (Moldable_sim.Tracer.n_decisions tracer)
+      (Moldable_sim.Tracer.n_spans tracer)
+      (List.length (Moldable_sim.Tracer.instants tracer));
+    Printf.printf "self-profile:\n%s"
+      (Format.asprintf "%a" Moldable_sim.Tracer.pp_profile tracer);
+    (match chrome with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Moldable_viz.Chrome_trace.of_run ~label tracer
+           result.Sim_core.metrics);
+      close_out oc;
+      Printf.printf
+        "wrote %s (open in chrome://tracing or https://ui.perfetto.dev)\n"
+        path);
+    (match gantt with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Moldable_viz.Svg.of_schedule ~label result.Sim_core.schedule);
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+    match explain with
+    | None -> ()
+    | Some tid -> (
+      match Moldable_sim.Tracer.decision_for tracer tid with
+      | Some d ->
+        Printf.printf "\n%s"
+          (Format.asprintf "%a" Moldable_sim.Tracer.pp_decision d)
+      | None ->
+        Printf.eprintf "no decision record for task %d (graph has %d tasks)\n"
+          tid (Dag.n dag);
+        exit 1)
+  in
+  let load_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load" ] ~docv:"FILE"
+          ~doc:"Load the task graph from $(docv) instead of generating one.")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write the execution trace as Chrome trace-event JSON to $(docv) \
+             (loads in chrome://tracing and Perfetto: one lane per \
+             processor block, counter tracks for free processors and queue \
+             depth).")
+  in
+  let gantt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "gantt" ] ~docv:"FILE"
+          ~doc:"Write the traced schedule as a Gantt SVG to $(docv).")
+  in
+  let explain_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "explain" ] ~docv:"TASK"
+          ~doc:
+            "Print the allocation-provenance record of task $(docv): \
+             p_max/t_min/a_min, the Step-1 initial allocation with its \
+             alpha/beta ratios and candidates scanned, the beta budget \
+             delta(mu), and whether the ceil(mu P) cap bit.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run Algorithm 1 with decision-level tracing: allocation \
+          provenance per task, Chrome trace-event / Gantt export, ratio \
+          accounting vs the Lemma 2 bound, and a self-profile.")
+    Term.(
+      const run $ kind_arg $ p_arg 64 $ seed_arg $ workload_arg $ size_arg
+      $ load_arg $ chrome_arg $ gantt_arg $ explain_arg)
+
 (* ---------------------------------------------------------------- verify *)
 
 let verify_cmd =
@@ -383,5 +506,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ table1_cmd; figure_cmd; theorem9_cmd; simulate_cmd; verify_cmd;
-            sweep_cmd ]))
+          [ table1_cmd; figure_cmd; theorem9_cmd; simulate_cmd; trace_cmd;
+            verify_cmd; sweep_cmd ]))

@@ -1,0 +1,165 @@
+open Moldable_model
+open Moldable_graph
+
+type entry = {
+  workload : string;
+  model : Speedup.kind;
+  n : int;
+  p : int;
+  makespan : float;
+  area_bound : float;
+  cp_bound : float;
+  lower_bound : float;
+  ratio : float;
+  proven_bound : float;
+  within_bound : bool;
+}
+
+let table1_upper_bound = function
+  | Speedup.Kind_roofline -> 2.62
+  | Speedup.Kind_communication -> 3.61
+  | Speedup.Kind_amdahl -> 4.74
+  | Speedup.Kind_general -> 5.72
+  | Speedup.Kind_power | Speedup.Kind_arbitrary -> infinity
+
+let kind_of_dag dag =
+  let n = Dag.n dag in
+  if n = 0 then Speedup.Kind_arbitrary
+  else begin
+    let k0 = Speedup.kind (Dag.task dag 0).Task.speedup in
+    let mixed = ref false in
+    for i = 1 to n - 1 do
+      if Speedup.kind (Dag.task dag i).Task.speedup <> k0 then mixed := true
+    done;
+    if !mixed then Speedup.Kind_arbitrary else k0
+  end
+
+let of_run ?model ~workload ~p ~makespan dag =
+  let b = Bounds.compute ~p dag in
+  let model = match model with Some k -> k | None -> kind_of_dag dag in
+  let area_bound = b.Bounds.a_min_total /. float_of_int p in
+  let lower_bound = b.Bounds.lower_bound in
+  let ratio = if lower_bound > 0. then makespan /. lower_bound else 1. in
+  let proven_bound = table1_upper_bound model in
+  {
+    workload;
+    model;
+    n = Dag.n dag;
+    p;
+    makespan;
+    area_bound;
+    cp_bound = b.Bounds.c_min;
+    lower_bound;
+    ratio;
+    proven_bound;
+    within_bound = Moldable_util.Fcmp.leq ratio proven_bound;
+  }
+
+type summary = {
+  s_workload : string;
+  s_model : Speedup.kind;
+  runs : int;
+  worst : float;
+  mean : float;
+  s_proven_bound : float;
+  all_within : bool;
+}
+
+let summarize entries =
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let key = (e.workload, e.model) in
+      let prev = try Hashtbl.find groups key with Not_found -> [] in
+      Hashtbl.replace groups key (e :: prev))
+    entries;
+  Hashtbl.fold
+    (fun (workload, model) es acc ->
+      let runs = List.length es in
+      let worst = List.fold_left (fun m e -> Float.max m e.ratio) 0. es in
+      let sum = List.fold_left (fun s e -> s +. e.ratio) 0. es in
+      {
+        s_workload = workload;
+        s_model = model;
+        runs;
+        worst;
+        mean = sum /. float_of_int runs;
+        s_proven_bound = table1_upper_bound model;
+        all_within = List.for_all (fun e -> e.within_bound) es;
+      }
+      :: acc)
+    groups []
+  |> List.sort (fun a b ->
+         match String.compare a.s_workload b.s_workload with
+         | 0 -> compare a.s_model b.s_model
+         | c -> c)
+
+let jf x = if Float.is_finite x then Printf.sprintf "%.12g" x else "null"
+
+let to_json entries =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"runs\": [";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"workload\": \"%s\", \"model\": \"%s\", \"n\": %d, \"p\": %d, \
+            \"makespan\": %s, \"area_bound\": %s, \"cp_bound\": %s, \
+            \"lower_bound\": %s, \"ratio\": %s, \"proven_bound\": %s, \
+            \"within_bound\": %b}"
+           e.workload
+           (Speedup.kind_name e.model)
+           e.n e.p (jf e.makespan) (jf e.area_bound) (jf e.cp_bound)
+           (jf e.lower_bound) (jf e.ratio) (jf e.proven_bound) e.within_bound))
+    entries;
+  Buffer.add_string buf "],\n  \"summary\": [";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"workload\": \"%s\", \"model\": \"%s\", \"runs\": %d, \
+            \"worst\": %s, \"mean\": %s, \"proven_bound\": %s, \
+            \"all_within\": %b}"
+           s.s_workload
+           (Speedup.kind_name s.s_model)
+           s.runs (jf s.worst) (jf s.mean) (jf s.s_proven_bound) s.all_within))
+    (summarize entries);
+  Buffer.add_string buf "]\n}\n";
+  Buffer.contents buf
+
+let table entries =
+  let tab =
+    Moldable_util.Texttab.create
+      ~headers:
+        [ "workload"; "model"; "runs"; "worst ratio"; "mean ratio";
+          "proven bound"; "within" ]
+  in
+  List.iter
+    (fun s ->
+      Moldable_util.Texttab.add_row tab
+        [
+          s.s_workload;
+          Speedup.kind_name s.s_model;
+          string_of_int s.runs;
+          Printf.sprintf "%.4f" s.worst;
+          Printf.sprintf "%.4f" s.mean;
+          (if Float.is_finite s.s_proven_bound then
+             Printf.sprintf "%.2f" s.s_proven_bound
+           else "-");
+          (if s.all_within then "yes" else "NO");
+        ])
+    (summarize entries);
+  Moldable_util.Texttab.render tab
+
+let pp_entry ppf e =
+  Format.fprintf ppf
+    "%s/%s n=%d P=%d: makespan=%.4f  A_min/P=%.4f  C_min=%.4f  LB=%.4f  \
+     ratio=%.4f  bound=%s%s"
+    e.workload (Speedup.kind_name e.model) e.n e.p e.makespan e.area_bound
+    e.cp_bound e.lower_bound e.ratio
+    (if Float.is_finite e.proven_bound then
+       Printf.sprintf "%.2f" e.proven_bound
+     else "-")
+    (if e.within_bound then "" else "  [EXCEEDS BOUND]")

@@ -1,0 +1,64 @@
+(** Ratio accounting: joins a run's makespan with the Lemma 2 lower bound
+    and checks it against the paper's proven competitive ratios (Table 1).
+
+    For every run the report records [A_min / P], [C_min], the lower bound
+    [max(A_min/P, C_min)] and the achieved ratio [makespan / lower_bound],
+    together with the Table 1 upper bound of the instance's speedup family
+    (infinite for families without a guarantee: power-law and arbitrary).
+    Entries aggregate per (workload, model) family into worst/mean ratios —
+    the empirical counterpart of the paper's Table 1 rows. *)
+
+open Moldable_model
+open Moldable_graph
+
+type entry = {
+  workload : string;      (** Workload family name (free-form). *)
+  model : Speedup.kind;   (** Common speedup family of the graph's tasks;
+                              [Kind_arbitrary] for a mixed graph. *)
+  n : int;
+  p : int;
+  makespan : float;
+  area_bound : float;     (** [A_min / P] (Definition 1). *)
+  cp_bound : float;       (** [C_min] (Definition 2). *)
+  lower_bound : float;    (** [max area_bound cp_bound] (Lemma 2). *)
+  ratio : float;          (** [makespan / lower_bound]; [1.] on an empty
+                              instance (lower bound 0). *)
+  proven_bound : float;   (** Table 1 upper bound for [model]. *)
+  within_bound : bool;    (** [ratio <= proven_bound] (tolerantly). *)
+}
+
+val table1_upper_bound : Speedup.kind -> float
+(** The paper's proven competitive ratios (Table 1): roofline 2.62,
+    communication 3.61, Amdahl 4.74, general 5.72; [infinity] for power-law
+    and arbitrary speedups (no guarantee). *)
+
+val kind_of_dag : Dag.t -> Speedup.kind
+(** The common speedup family of the graph's tasks; [Kind_arbitrary] when
+    the graph mixes families or is empty. *)
+
+val of_run :
+  ?model:Speedup.kind -> workload:string -> p:int -> makespan:float ->
+  Dag.t -> entry
+(** Evaluates {!Moldable_graph.Bounds.compute} on the graph and joins it
+    with the run's makespan.  [model] overrides {!kind_of_dag}. *)
+
+type summary = {
+  s_workload : string;
+  s_model : Speedup.kind;
+  runs : int;
+  worst : float;        (** Maximum ratio in the group. *)
+  mean : float;
+  s_proven_bound : float;
+  all_within : bool;
+}
+
+val summarize : entry list -> summary list
+(** Groups entries by (workload, model), sorted by workload then model. *)
+
+val to_json : entry list -> string
+(** Self-contained JSON document: [{"runs": [...], "summary": [...]}]. *)
+
+val table : entry list -> string
+(** Human-readable summary table (one row per workload/model group). *)
+
+val pp_entry : Format.formatter -> entry -> unit

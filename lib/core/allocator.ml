@@ -1,38 +1,70 @@
 open Moldable_model
 
+type decision = {
+  p_star : int;
+  beta_budget : float;
+  cap : int;
+  cap_applied : bool;
+  final_alloc : int;
+  candidates_scanned : int;
+}
+
 type t = {
   name : string;
   allocate : p:int -> Task.t -> int;
   allocate_analyzed : Task.analyzed -> int;
+  explain : Task.analyzed -> decision;
 }
+
+(* Trivial rules have no Step-1 search and no cap: the provenance is just
+   the final allocation. *)
+let default_explain rule (a : Task.analyzed) =
+  let q = rule a in
+  {
+    p_star = q;
+    beta_budget = Float.nan;
+    cap = a.Task.p;
+    cap_applied = false;
+    final_alloc = q;
+    candidates_scanned = 0;
+  }
 
 (* Both entry points share one rule over the per-platform analysis; the
    [~p] form re-analyzes, the [analyzed] form is the cache-friendly one. *)
-let make ~name allocate_analyzed =
+let make ?explain ~name allocate_analyzed =
   {
     name;
     allocate = (fun ~p task -> allocate_analyzed (Task.analyze ~p task));
     allocate_analyzed;
+    explain =
+      (match explain with
+      | Some e -> e
+      | None -> default_explain allocate_analyzed);
   }
 
 (* Smallest q in [1, p_max] with t(q) <= bound, assuming t non-increasing
-   there (Lemma 1). *)
-let smallest_feasible (a : Task.analyzed) bound =
-  let feasible q = Moldable_util.Fcmp.leq (Task.time a.Task.task q) bound in
-  let lo = ref 1 and hi = ref a.Task.p_max in
-  if feasible 1 then 1
+   there (Lemma 1).  Returns the allocation and how many feasibility
+   candidates were probed (the decision-trace provenance). *)
+let smallest_feasible_counted (a : Task.analyzed) bound =
+  let probes = ref 0 in
+  let feasible q =
+    incr probes;
+    Moldable_util.Fcmp.leq (Task.time a.Task.task q) bound
+  in
+  if feasible 1 then (1, !probes)
   else begin
+    let lo = ref 1 and hi = ref a.Task.p_max in
     (* Invariant: not (feasible lo) && feasible hi. *)
     while !hi - !lo > 1 do
       let mid = (!lo + !hi) / 2 in
       if feasible mid then hi := mid else lo := mid
     done;
-    !hi
+    (!hi, !probes)
   end
 
 (* Exhaustive Step 1 for arbitrary speedups: minimize area among feasible
    allocations, ties to the smallest allocation. *)
-let scan_feasible_linear (a : Task.analyzed) bound =
+let scan_feasible_linear_counted (a : Task.analyzed) bound =
   let best = ref None in
   for q = 1 to a.Task.p_max do
     if Moldable_util.Fcmp.leq (Task.time a.Task.task q) bound then begin
@@ -43,42 +75,76 @@ let scan_feasible_linear (a : Task.analyzed) bound =
     end
   done;
   match !best with
-  | Some (q, _) -> q
-  | None -> a.Task.p_max (* beta(p_max) = 1 <= delta, so unreachable *)
+  | Some (q, _) -> (q, a.Task.p_max)
+  | None -> (a.Task.p_max, a.Task.p_max)
+  (* beta(p_max) = 1 <= delta, so the None case is unreachable *)
 
 (* Arbitrary speedups whose sampled time/area happen to satisfy Lemma 1's
    monotonic property get the same O(log p_max) binary search as the closed
    forms (smallest feasible = smallest area among feasible); the linear scan
    remains the fallback for genuinely non-monotonic models. *)
-let scan_feasible (a : Task.analyzed) bound =
-  if Task.monotonic a then smallest_feasible a bound
-  else scan_feasible_linear a bound
+let scan_feasible_counted (a : Task.analyzed) bound =
+  if Task.monotonic a then smallest_feasible_counted a bound
+  else scan_feasible_linear_counted a bound
 
-let initial_analyzed ~mu (a : Task.analyzed) =
+let initial_analyzed_counted ~mu (a : Task.analyzed) =
   let bound = Mu.delta mu *. a.Task.t_min in
   match Speedup.kind a.Task.task.Task.speedup with
-  | Speedup.Kind_arbitrary -> scan_feasible a bound
+  | Speedup.Kind_arbitrary -> scan_feasible_counted a bound
   | Speedup.Kind_roofline | Speedup.Kind_communication | Speedup.Kind_amdahl
   | Speedup.Kind_general | Speedup.Kind_power ->
-    smallest_feasible a bound
+    smallest_feasible_counted a bound
 
+let initial_analyzed ~mu a = fst (initial_analyzed_counted ~mu a)
 let initial ~mu ~p task = initial_analyzed ~mu (Task.analyze ~p task)
 
 let apply_cap ~mu ~p q = min q (Mu.cap ~mu ~p)
 
+(* Full Algorithm 2 provenance: Step 1's initial allocation and probe count,
+   the beta budget delta(mu), and whether the Step-2 ceil(mu P) cap bit. *)
+let explain_algorithm2 ~mu (a : Task.analyzed) =
+  let p_star, scanned = initial_analyzed_counted ~mu a in
+  let cap = Mu.cap ~mu ~p:a.Task.p in
+  let final_alloc = min p_star cap in
+  {
+    p_star;
+    beta_budget = Mu.delta mu;
+    cap;
+    cap_applied = final_alloc < p_star;
+    final_alloc;
+    candidates_scanned = scanned;
+  }
+
+let explain_no_cap ~mu (a : Task.analyzed) =
+  let p_star, scanned = initial_analyzed_counted ~mu a in
+  {
+    p_star;
+    beta_budget = Mu.delta mu;
+    cap = a.Task.p;
+    cap_applied = false;
+    final_alloc = p_star;
+    candidates_scanned = scanned;
+  }
+
 let algorithm2 ~mu =
   make
     ~name:(Printf.sprintf "algorithm2(mu=%.4f)" mu)
+    ~explain:(explain_algorithm2 ~mu)
     (fun a -> apply_cap ~mu ~p:a.Task.p (initial_analyzed ~mu a))
 
 let algorithm2_per_model =
-  make ~name:"algorithm2(per-model mu)" (fun a ->
+  make ~name:"algorithm2(per-model mu)"
+    ~explain:(fun a ->
+      let mu = Mu.default (Speedup.kind a.Task.task.Task.speedup) in
+      explain_algorithm2 ~mu a)
+    (fun a ->
       let mu = Mu.default (Speedup.kind a.Task.task.Task.speedup) in
       apply_cap ~mu ~p:a.Task.p (initial_analyzed ~mu a))
 
 let no_cap ~mu =
   make
     ~name:(Printf.sprintf "no-cap(mu=%.4f)" mu)
+    ~explain:(explain_no_cap ~mu)
     (fun a -> initial_analyzed ~mu a)
 
 let min_time = make ~name:"min-time" (fun a -> a.Task.p_max)

@@ -19,6 +19,23 @@
 
 open Moldable_model
 
+type decision = {
+  p_star : int;          (** Step-1 initial allocation. *)
+  beta_budget : float;   (** [delta(mu)], the bound on [beta] Step 1 enforces;
+                             [nan] for rules with no feasibility budget. *)
+  cap : int;             (** Step-2 ceiling [ceil(mu P)]; [P] when the rule
+                             has no cap. *)
+  cap_applied : bool;    (** Whether the cap reduced [p_star]. *)
+  final_alloc : int;     (** The allocation the rule returns. *)
+  candidates_scanned : int;
+      (** Feasibility candidates Step 1 probed (binary-search probes for
+          monotonic models, [p_max] for the exhaustive scan, 0 for trivial
+          rules). *)
+}
+(** Provenance of one allocation decision — everything needed to reconstruct
+    why the rule picked [final_alloc] (recorded per task by
+    {!Moldable_sim.Tracer} when a run is traced). *)
+
 type t = {
   name : string;
   allocate : p:int -> Task.t -> int;
@@ -26,10 +43,17 @@ type t = {
   allocate_analyzed : Task.analyzed -> int;
       (** Same rule from a precomputed {!Task.analyzed} — the hot-path entry
           used with {!Task.Cache} so each task is analyzed exactly once. *)
+  explain : Task.analyzed -> decision;
+      (** The same decision with full provenance; [explain a] and
+          [allocate_analyzed a] always agree on the final allocation. *)
 }
 
-val make : name:string -> (Task.analyzed -> int) -> t
-(** Build both entry points from the analyzed-based rule. *)
+val make :
+  ?explain:(Task.analyzed -> decision) -> name:string ->
+  (Task.analyzed -> int) -> t
+(** Build both entry points from the analyzed-based rule.  Without
+    [explain], the provenance degenerates to the final allocation (no
+    budget, no cap, no scan count). *)
 
 val initial : mu:float -> p:int -> Task.t -> int
 (** Step 1 of Algorithm 2 only. *)

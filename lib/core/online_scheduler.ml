@@ -10,15 +10,54 @@ module Prefix_min = Moldable_util.Prefix_min
    answer that ends every scheduling instant.  Every priority rule ends in
    a seq tie-break, so the order is total and the extraction order matches
    the seed's sorted-list scan exactly. *)
-let policy ?(priority = Priority.fifo) ~allocator ~p () =
+let policy ?(priority = Priority.fifo) ?(tracer = Tracer.null) ~allocator ~p
+    () =
   let cache = Task.Cache.create ~p in
   let ready : Priority.item Prefix_min.t =
     Prefix_min.create ~k:p ~cmp:priority.Priority.compare
   in
   let next_seq = ref 0 in
+  let traced = Tracer.enabled tracer in
+  (* Decision provenance: one record per task (re-reveals after failed
+     attempts are deduplicated by the tracer), carrying the Step-1/Step-2
+     quantities of Algorithm 2 plus the alpha/beta ratios at p_star and at
+     the final allocation. *)
+  let record_decision task (a : Task.analyzed) =
+    let d = allocator.Allocator.explain a in
+    Tracer.record_decision tracer
+      {
+        Tracer.task_id = task.Task.id;
+        label = task.Task.label;
+        model = Speedup.kind_name (Speedup.kind task.Task.speedup);
+        p = a.Task.p;
+        p_max = a.Task.p_max;
+        t_min = a.Task.t_min;
+        a_min = a.Task.a_min;
+        p_star = d.Allocator.p_star;
+        alpha = Task.alpha a d.Allocator.p_star;
+        beta = Task.beta a d.Allocator.p_star;
+        beta_budget = d.Allocator.beta_budget;
+        cap = d.Allocator.cap;
+        cap_applied = d.Allocator.cap_applied;
+        final_alloc = d.Allocator.final_alloc;
+        alpha_final = Task.alpha a d.Allocator.final_alloc;
+        beta_final = Task.beta a d.Allocator.final_alloc;
+        candidates_scanned = d.Allocator.candidates_scanned;
+      }
+  in
   let on_ready ~now:_ task =
-    let a = Task.Cache.analyze cache task in
-    let alloc = allocator.Allocator.allocate_analyzed a in
+    let a =
+      if traced then
+        Tracer.timed tracer "analyze" (fun () -> Task.Cache.analyze cache task)
+      else Task.Cache.analyze cache task
+    in
+    let alloc =
+      if traced then
+        Tracer.timed tracer "allocator" (fun () ->
+            allocator.Allocator.allocate_analyzed a)
+      else allocator.Allocator.allocate_analyzed a
+    in
+    if traced then record_decision task a;
     let item =
       {
         Priority.task;
@@ -30,10 +69,18 @@ let policy ?(priority = Priority.fifo) ~allocator ~p () =
            s);
       }
     in
-    Prefix_min.push ready ~key:alloc item
+    if traced then
+      Tracer.timed tracer "ready-queue" (fun () ->
+          Prefix_min.push ready ~key:alloc item)
+    else Prefix_min.push ready ~key:alloc item
   in
   let next_launch ~now:_ ~free =
-    match Prefix_min.pop_prefix ready ~key:free with
+    match
+      if traced then
+        Tracer.timed tracer "ready-queue" (fun () ->
+            Prefix_min.pop_prefix ready ~key:free)
+      else Prefix_min.pop_prefix ready ~key:free
+    with
     | None -> None
     | Some x -> Some (x.Priority.task.Task.id, x.Priority.alloc)
   in
@@ -100,12 +147,12 @@ let run ?priority ?(allocator = Allocator.algorithm2_per_model) ?release_times
     ~p dag =
   Engine.run ?release_times ~p (policy ?priority ~allocator ~p ()) dag
 
-(* Full access to the unified core: release times, failure injection and the
-   instrumented result in one call. *)
+(* Full access to the unified core: release times, failure injection,
+   decision-level tracing and the instrumented result in one call. *)
 let run_instrumented ?priority ?(allocator = Allocator.algorithm2_per_model)
-    ?release_times ?seed ?max_attempts ?failures ~p dag =
-  Sim_core.run ?release_times ?seed ?max_attempts ?failures ~p
-    (policy ?priority ~allocator ~p ())
+    ?release_times ?seed ?max_attempts ?failures ?tracer ~p dag =
+  Sim_core.run ?release_times ?seed ?max_attempts ?failures ?tracer ~p
+    (policy ?priority ?tracer ~allocator ~p ())
     dag
 
 let makespan ?priority ?allocator ~p dag =

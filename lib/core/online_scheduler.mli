@@ -14,10 +14,17 @@ open Moldable_graph
 open Moldable_sim
 
 val policy :
-  ?priority:Priority.t -> allocator:Allocator.t -> p:int -> unit ->
-  Engine.policy
+  ?priority:Priority.t -> ?tracer:Tracer.t -> allocator:Allocator.t ->
+  p:int -> unit -> Engine.policy
 (** Fresh, stateful policy for one run.  Default priority is {!Priority.fifo}
     (the paper's algorithm).
+
+    [tracer] (default {!Tracer.null}) records one decision-provenance record
+    per task when it is revealed — the allocator's {!Allocator.decision}
+    joined with the task's analysis and its [alpha]/[beta] ratios — and
+    charges the policy's hot-path phases ([analyze], [allocator],
+    [ready-queue]) to the tracer's self-profile clock.  Tracing never
+    changes the schedule.
 
     The waiting queue is a {!Moldable_util.Prefix_min} — per-allocation
     heap buckets under a segment tree caching priority minima — so "first
@@ -45,9 +52,12 @@ val run :
 val run_instrumented :
   ?priority:Priority.t -> ?allocator:Allocator.t ->
   ?release_times:float array -> ?seed:int -> ?max_attempts:int ->
-  ?failures:Sim_core.failure_model -> p:int -> Dag.t -> Sim_core.result
+  ?failures:Sim_core.failure_model -> ?tracer:Tracer.t -> p:int -> Dag.t ->
+  Sim_core.result
 (** Algorithm 1 on the unified core with every knob exposed: release times,
-    failure injection (default {!Sim_core.never}) and the full instrumented
+    failure injection (default {!Sim_core.never}), decision-level tracing
+    (default {!Tracer.null}; the same tracer collects allocator provenance,
+    execution spans and the self-profile) and the full instrumented
     {!Sim_core.result} (schedule, trace, attempts and {!Metrics.t}). *)
 
 val makespan :

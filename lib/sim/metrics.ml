@@ -60,25 +60,36 @@ let span t =
 
 let average_utilization t =
   let horizon = span t in
-  if horizon <= 0. then 0.
+  if (not (Float.is_finite horizon)) || horizon <= 0. then 0.
   else busy_area t /. (float_of_int t.p *. horizon)
 
 let max_queue_depth t =
   List.fold_left (fun acc (_, d) -> max acc d) 0 t.queue_depth
 
+(* Wait statistics skip non-finite samples (a wait is NaN when a task never
+   started, e.g. in a partially-built report) and return 0 on an empty run,
+   so downstream aggregation and JSON export never see NaN. *)
 let mean_wait t =
-  let n = Array.length t.tasks in
-  if n = 0 then 0.
-  else
-    Array.fold_left (fun acc ts -> acc +. ts.wait) 0. t.tasks
-    /. float_of_int n
+  let n = ref 0 and sum = ref 0. in
+  Array.iter
+    (fun ts ->
+      if Float.is_finite ts.wait then begin
+        incr n;
+        sum := !sum +. ts.wait
+      end)
+    t.tasks;
+  if !n = 0 then 0. else !sum /. float_of_int !n
 
 let max_wait t =
-  Array.fold_left (fun acc ts -> Float.max acc ts.wait) 0. t.tasks
+  Array.fold_left
+    (fun acc ts -> if Float.is_finite ts.wait then Float.max acc ts.wait else acc)
+    0. t.tasks
 
 (* ------------------------------------------------------------------ export *)
 
-let f = Printf.sprintf "%.12g"
+(* JSON has no literal for NaN or infinity; non-finite values export as
+   [null] so the documents always parse. *)
+let f x = if Float.is_finite x then Printf.sprintf "%.12g" x else "null"
 
 let to_json t =
   let buf = Buffer.create 4096 in

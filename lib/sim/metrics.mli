@@ -67,12 +67,18 @@ val average_utilization : t -> float
 (** [busy_area / (p * span)], 0 for an empty run. *)
 
 val max_queue_depth : t -> int
+
 val mean_wait : t -> float
+(** Mean of the finite per-task waits; [0.] when the run is empty (or no
+    wait is finite), never NaN. *)
+
 val max_wait : t -> float
+(** Maximum finite per-task wait; [0.] when the run is empty. *)
 
 val to_json : t -> string
 (** The whole report as a self-contained JSON document (schema documented in
-    EXPERIMENTS.md). *)
+    EXPERIMENTS.md).  Non-finite floats are exported as [null], so the
+    document always parses. *)
 
 val utilization_csv : t -> string
 (** [t0,t1,busy] rows. *)

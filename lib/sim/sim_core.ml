@@ -71,8 +71,12 @@ type sim_event =
   | Reveal of int
 
 let run ?release_times ?(seed = 0) ?(max_attempts = max_int)
-    ?(failures = never) ~p policy dag =
+    ?(failures = never) ?(tracer = Tracer.null) ~p policy dag =
   let n = Dag.n dag in
+  (* One branch per hook when tracing is off: [traced] is read once here and
+     every tracer call below is guarded by it, so [Tracer.null] runs do no
+     tracing work and allocate nothing on the hot path. *)
+  let traced = Tracer.enabled tracer in
   (match release_times with
   | None -> ()
   | Some r ->
@@ -118,20 +122,30 @@ let run ?release_times ?(seed = 0) ?(max_attempts = max_int)
     incr ready_count;
     if Float.is_nan first_ready.(i) then first_ready.(i) <- now;
     record now (Ready i);
+    if traced then
+      Tracer.record_instant tracer ~time:now ~kind:Tracer.Ready ~subject:i;
     policy.on_ready ~now (Dag.task dag i)
   in
   (* A task whose precedence constraints are satisfied at [now] is revealed
      immediately, or scheduled as a future Reveal if not yet released. *)
   let reveal_or_defer now i =
     if release i <= now then reveal now i
-    else Event_queue.add events ~time:(release i) (Reveal i)
+    else begin
+      if traced then
+        Tracer.record_instant tracer ~time:now ~kind:Tracer.Deferred ~subject:i;
+      Event_queue.add events ~time:(release i) (Reveal i)
+    end
   in
-  let launch_round now =
+  let launch_round_untimed now =
     let rec loop () =
       let free = Platform.free_count platform in
       if free > 0 then
         match policy.next_launch ~now ~free with
-        | None -> counters.Metrics.stall_checks <- counters.Metrics.stall_checks + 1
+        | None ->
+          counters.Metrics.stall_checks <- counters.Metrics.stall_checks + 1;
+          if traced && !ready_count > 0 then
+            Tracer.record_instant tracer ~time:now ~kind:Tracer.Stall
+              ~subject:(-1)
         | Some (tid, nprocs) ->
           if tid < 0 || tid >= n then fail "launched unknown task %d" tid;
           (match state.(tid) with
@@ -168,10 +182,16 @@ let run ?release_times ?(seed = 0) ?(max_attempts = max_int)
     in
     loop ()
   in
+  let launch_round now =
+    if traced then
+      Tracer.timed tracer "launch-round" (fun () -> launch_round_untimed now)
+    else launch_round_untimed now
+  in
   let sample_depth now = depth_samples := (now, !ready_count) :: !depth_samples in
   List.iter (reveal_or_defer 0.) (Dag.sources dag);
   launch_round 0.;
   sample_depth 0.;
+  let event_loop () =
   while !completed < n do
     match Event_queue.pop_simultaneous events with
     | None ->
@@ -194,6 +214,9 @@ let run ?release_times ?(seed = 0) ?(max_attempts = max_int)
                 { task_id = tid; attempt; start; finish = now;
                   nprocs = Array.length procs; procs; failed }
                 :: !attempts;
+              if traced then
+                Tracer.record_span tracer ~task_id:tid ~attempt ~t0:start
+                  ~t1:now ~procs ~failed;
               service.(tid) <- service.(tid) +. (now -. start);
               if failed then begin
                 incr n_failures;
@@ -236,7 +259,10 @@ let run ?release_times ?(seed = 0) ?(max_attempts = max_int)
         outcomes;
       launch_round now;
       sample_depth now
-  done;
+  done
+  in
+  if traced then Tracer.timed tracer "event-loop" event_loop
+  else event_loop ();
   let attempts =
     List.sort
       (fun a b ->

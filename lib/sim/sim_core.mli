@@ -90,6 +90,7 @@ val run :
   ?seed:int ->
   ?max_attempts:int ->
   ?failures:failure_model ->
+  ?tracer:Tracer.t ->
   p:int ->
   policy ->
   Dag.t ->
@@ -103,6 +104,12 @@ val run :
     per task; the bound is checked {e before} any processor is acquired or
     event queued, and the error names the task, its attempt count and the
     failure model.  [failures] defaults to {!never}.
+
+    [tracer] (default {!Tracer.null}, i.e. off) records execution spans for
+    every attempt, instant markers for reveals/deferred releases/stalls and
+    self-profile timers ([event-loop], [launch-round]); tracing never
+    affects the schedule, and a [Tracer.null] run performs no tracing work
+    beyond one branch per hook.
 
     @raise Policy_error on policy misbehaviour.
     @raise Invalid_argument on ill-formed release times or [max_attempts].

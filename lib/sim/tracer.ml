@@ -1,0 +1,134 @@
+open Moldable_util
+
+type decision = {
+  task_id : int;
+  label : string;
+  model : string;
+  p : int;
+  p_max : int;
+  t_min : float;
+  a_min : float;
+  p_star : int;
+  alpha : float;
+  beta : float;
+  beta_budget : float;
+  cap : int;
+  cap_applied : bool;
+  final_alloc : int;
+  alpha_final : float;
+  beta_final : float;
+  candidates_scanned : int;
+}
+
+type outcome = Completed | Failed
+
+type span = {
+  task_id : int;
+  attempt : int;
+  t0 : float;
+  t1 : float;
+  nprocs : int;
+  procs : int array;
+  outcome : outcome;
+}
+
+type instant_kind = Ready | Deferred | Stall
+
+type instant = { time : float; kind : instant_kind; subject : int }
+
+type t = {
+  enabled : bool;
+  decisions : (int, decision) Hashtbl.t;
+  mutable spans : span list;      (* reverse recording order *)
+  mutable instants : instant list;
+  mutable n_spans : int;
+  clock : Clock.t;
+}
+
+(* [null] is shared, but its mutable state can never change: every recording
+   entry point returns before touching it when [enabled] is false. *)
+let null =
+  {
+    enabled = false;
+    decisions = Hashtbl.create 1;
+    spans = [];
+    instants = [];
+    n_spans = 0;
+    clock = Clock.create ();
+  }
+
+let create () =
+  {
+    enabled = true;
+    decisions = Hashtbl.create 64;
+    spans = [];
+    instants = [];
+    n_spans = 0;
+    clock = Clock.create ();
+  }
+
+let enabled t = t.enabled
+let clock t = t.clock
+let timed t name f = if t.enabled then Clock.time t.clock name f else f ()
+
+let record_decision t (d : decision) =
+  if t.enabled && not (Hashtbl.mem t.decisions d.task_id) then
+    Hashtbl.add t.decisions d.task_id d
+
+let record_span t ~task_id ~attempt ~t0 ~t1 ~procs ~failed =
+  if t.enabled then begin
+    t.spans <-
+      {
+        task_id;
+        attempt;
+        t0;
+        t1;
+        nprocs = Array.length procs;
+        procs;
+        outcome = (if failed then Failed else Completed);
+      }
+      :: t.spans;
+    t.n_spans <- t.n_spans + 1
+  end
+
+let record_instant t ~time ~kind ~subject =
+  if t.enabled then t.instants <- { time; kind; subject } :: t.instants
+
+let decisions t =
+  Hashtbl.fold (fun _ d acc -> d :: acc) t.decisions []
+  |> List.sort (fun (a : decision) (b : decision) ->
+         compare a.task_id b.task_id)
+
+let decision_for t task_id = Hashtbl.find_opt t.decisions task_id
+
+let spans t =
+  List.sort
+    (fun a b ->
+      match Float.compare a.t0 b.t0 with
+      | 0 -> compare (a.task_id, a.attempt) (b.task_id, b.attempt)
+      | c -> c)
+    t.spans
+
+let instants t = List.rev t.instants
+let n_spans t = t.n_spans
+let n_decisions t = Hashtbl.length t.decisions
+
+let pp_decision ppf (d : decision) =
+  Format.fprintf ppf "task %d %S  model=%s  P=%d@." d.task_id d.label d.model
+    d.p;
+  Format.fprintf ppf "  analysis: p_max=%d  t_min=%.6g  a_min=%.6g@." d.p_max
+    d.t_min d.a_min;
+  Format.fprintf ppf
+    "  step 1:   p*=%d  alpha(p*)=%.4f  beta(p*)=%.4f  beta budget \
+     delta(mu)=%s  candidates scanned=%d@."
+    d.p_star d.alpha d.beta
+    (if Float.is_nan d.beta_budget then "-"
+     else Printf.sprintf "%.4f" d.beta_budget)
+    d.candidates_scanned;
+  Format.fprintf ppf "  step 2:   cap=%d -> %s@." d.cap
+    (if d.cap_applied then "applied" else "not applied");
+  Format.fprintf ppf
+    "  final:    %d processors  alpha=%.4f  beta=%.4f@." d.final_alloc
+    d.alpha_final d.beta_final
+
+let pp_profile ppf t = Clock.pp ppf t.clock

@@ -1,0 +1,51 @@
+(* The guard makes interval arithmetic safe under clock steps: a reading is
+   never smaller than the previous one. *)
+let last = ref 0.
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+type timing = { calls : int; total : float; max : float }
+
+type t = (string, timing) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let add t name seconds =
+  let merged =
+    match Hashtbl.find_opt t name with
+    | None -> { calls = 1; total = seconds; max = seconds }
+    | Some x ->
+      {
+        calls = x.calls + 1;
+        total = x.total +. seconds;
+        max = Float.max x.max seconds;
+      }
+  in
+  Hashtbl.replace t name merged
+
+let time t name f =
+  let t0 = now () in
+  Fun.protect ~finally:(fun () -> add t name (now () -. t0)) f
+
+let timing t name = Hashtbl.find_opt t name
+
+let timings t =
+  Hashtbl.fold (fun name x acc -> (name, x) :: acc) t []
+  |> List.sort (fun (na, a) (nb, b) ->
+         match Float.compare b.total a.total with
+         | 0 -> String.compare na nb
+         | c -> c)
+
+let reset = Hashtbl.reset
+
+let pp ppf t =
+  List.iter
+    (fun (name, x) ->
+      Format.fprintf ppf "%-24s %10.6f s  (%d calls, mean %.3g us, max %.3g us)@."
+        name x.total x.calls
+        (1e6 *. x.total /. float_of_int (Stdlib.max 1 x.calls))
+        (1e6 *. x.max))
+    (timings t)

@@ -1,0 +1,44 @@
+(** Monotonic wall-clock readings and named accumulating timers.
+
+    {!now} wraps the system wall clock behind a non-decreasing guard, so
+    interval measurements never come out negative even if the underlying
+    clock is stepped backwards.  A {!t} is a registry of named timers: each
+    {!time} call accumulates the elapsed wall-clock seconds, the call count
+    and the longest single call under its name.  The simulation tracer
+    ({!Moldable_sim.Tracer}) threads one of these through the event loop and
+    the allocator so hot-path regressions show up in the run's self-profile
+    without an external profiler. *)
+
+val now : unit -> float
+(** Wall-clock seconds, guaranteed non-decreasing across calls within the
+    process. *)
+
+type timing = {
+  calls : int;    (** Number of intervals recorded under the name. *)
+  total : float;  (** Accumulated seconds. *)
+  max : float;    (** Longest single interval, seconds. *)
+}
+
+type t
+
+val create : unit -> t
+(** Fresh registry with no timers. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t name f] runs [f ()] and charges its wall-clock duration to
+    [name] (also on exception). *)
+
+val add : t -> string -> float -> unit
+(** Record an externally measured interval of [seconds] under [name]. *)
+
+val timing : t -> string -> timing option
+(** The accumulated timing of one name, if it was ever charged. *)
+
+val timings : t -> (string * timing) list
+(** All timers, sorted by decreasing total (ties by name). *)
+
+val reset : t -> unit
+(** Drop every timer. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per timer: name, total, calls, mean and max. *)
