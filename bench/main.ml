@@ -19,6 +19,40 @@ let section title =
   let bar = String.make 72 '=' in
   Printf.printf "\n%s\n%s\n%s\n\n%!" bar title bar
 
+(* ------------------------------------------------------------- arguments *)
+
+(* --jobs N      worker domains for the parallel sweep sections (default 1:
+                 fully sequential, the historical behavior)
+   --artifacts D output directory (default paper_artifacts)
+   --only NAME   run only the named top-level section (repeatable) *)
+let jobs_flag = ref 1
+let artifacts_flag = ref "paper_artifacts"
+let only_flag : string list ref = ref []
+
+let parse_args () =
+  let specs =
+    [
+      ( "--jobs",
+        Arg.Set_int jobs_flag,
+        "N  Worker domains for parallel sweeps (default 1; results are \
+         identical at any job count)" );
+      ( "--artifacts",
+        Arg.Set_string artifacts_flag,
+        "DIR  Artifact output directory (default paper_artifacts)" );
+      ( "--only",
+        Arg.String (fun s -> only_flag := s :: !only_flag),
+        "SECTION  Run only this top-level section (repeatable; e.g. \
+         parallel_sweep)" );
+    ]
+  in
+  Arg.parse specs
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "bench/main.exe [--jobs N] [--artifacts DIR] [--only SECTION]";
+  if !jobs_flag < 1 then begin
+    prerr_endline "--jobs must be >= 1";
+    exit 2
+  end
+
 (* Machine-readable perf trajectory: every top-level section records its
    wall-clock time, and the hot-path scalability section additionally
    records its per-configuration timings; both are written to
@@ -36,14 +70,68 @@ type scaling_row = {
 
 let scaling_rows : scaling_row list ref = ref []
 
-let artifacts_dir = "paper_artifacts"
+(* Sequential-vs-parallel wall-clock of every fanned-out section, recorded
+   into BENCH_scaling.json so speedups are diffable across PRs. *)
+type parallel_row = {
+  pl_section : string;
+  pl_jobs : int;
+  pl_cells : int;
+  pl_seq_s : float;
+  pl_par_s : float;
+}
+
+let parallel_rows : parallel_row list ref = ref []
+
+(* Runs [compute] once with the sequential pool and — when [pool] is
+   parallel — once more with [pool], wall-clocks both, and checks with
+   [equal] that the two results are identical (the determinism guarantee of
+   the seed-splitting scheme; a mismatch aborts the bench).  Returns the
+   result and the recorded timing row. *)
+let compare_seq_par ~name ~cells ~equal pool compute =
+  let t0 = Clock.now () in
+  let seq = compute Pool.sequential in
+  let seq_s = Clock.now () -. t0 in
+  let result, par_s =
+    if Pool.jobs pool <= 1 then (seq, seq_s)
+    else begin
+      let t1 = Clock.now () in
+      let par = compute pool in
+      let par_s = Clock.now () -. t1 in
+      if not (equal seq par) then
+        failwith
+          (Printf.sprintf
+             "%s: parallel result differs from sequential (jobs=%d)" name
+             (Pool.jobs pool));
+      (par, par_s)
+    end
+  in
+  let row =
+    { pl_section = name; pl_jobs = Pool.jobs pool; pl_cells = cells;
+      pl_seq_s = seq_s; pl_par_s = par_s }
+  in
+  parallel_rows := row :: !parallel_rows;
+  Printf.printf
+    "  [%s] %d cells: sequential %.3f s, jobs=%d %.3f s (%.2fx)\n" name cells
+    seq_s (Pool.jobs pool) par_s
+    (seq_s /. Float.max 1e-9 par_s);
+  (result, row)
 
 let write_artifact name content =
-  if not (Sys.file_exists artifacts_dir) then Sys.mkdir artifacts_dir 0o755;
-  let oc = open_out (Filename.concat artifacts_dir name) in
-  output_string oc content;
-  close_out oc;
-  Printf.printf "  [artifact] %s/%s\n" artifacts_dir name
+  let dir = !artifacts_flag in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir name in
+  (* Crash-safe: write to a temp file in the same directory and rename into
+     place, so an interrupted run never leaves a truncated artifact. *)
+  let tmp = Filename.temp_file ~temp_dir:dir ("." ^ name) ".tmp" in
+  let oc = open_out tmp in
+  (match output_string oc content with
+  | () -> close_out oc
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp path;
+  Printf.printf "  [artifact] %s/%s\n" dir name
 
 (* ------------------------------------------------- Table 1: upper bounds *)
 
@@ -102,7 +190,7 @@ let table1_lower () =
 
 (* ----------------------------------- Table 1: lower bounds, by simulation *)
 
-let table1_measured () =
+let table1_measured pool () =
   section
     "Table 1 (lower bounds, measured) — Algorithm 1 executed on the \
      adversarial graphs of Figure 1; the ratio vs the constructive offline \
@@ -112,56 +200,94 @@ let table1_measured () =
       ~headers:
         [ "instance"; "P"; "tasks"; "T(alg1)"; "T(offline)"; "ratio"; "limit" ]
   in
-  let row inst =
-    let result = Instances.run_online inst in
-    let t = Schedule.makespan result.Engine.schedule in
-    (* The simulation must land exactly on the proof's prediction. *)
-    assert (Fcmp.approx ~eps:1e-6 t inst.Instances.predicted_online);
-    Texttab.add_row tab
-      [
-        inst.Instances.name;
-        string_of_int inst.Instances.p;
-        string_of_int (Dag.n inst.Instances.dag);
-        Printf.sprintf "%.2f" t;
-        Printf.sprintf "%.2f" inst.Instances.alternative_makespan;
-        Printf.sprintf "%.4f" (t /. inst.Instances.alternative_makespan);
-        Printf.sprintf "%.4f" inst.Instances.limit_ratio;
-      ]
+  (* Instance construction is cheap and stays on the caller; only the
+     adversarial-family runs fan out.  Groups are separated in the table. *)
+  let groups =
+    [
+      List.map (fun p -> Instances.roofline ~p) [ 100; 1000; 10000 ];
+      List.map (fun p -> Instances.communication ~p) [ 100; 500; 2000 ];
+      List.map (fun k -> Instances.amdahl ~k) [ 10; 30; 100 ];
+      List.map (fun k -> Instances.general ~k) [ 10; 30; 100 ];
+    ]
   in
-  List.iter (fun p -> row (Instances.roofline ~p)) [ 100; 1000; 10000 ];
-  Texttab.add_sep tab;
-  List.iter (fun p -> row (Instances.communication ~p)) [ 100; 500; 2000 ];
-  Texttab.add_sep tab;
-  List.iter (fun k -> row (Instances.amdahl ~k)) [ 10; 30; 100 ];
-  Texttab.add_sep tab;
-  List.iter (fun k -> row (Instances.general ~k)) [ 10; 30; 100 ];
+  let instances = List.concat groups in
+  let makespans, _ =
+    compare_seq_par ~name:"adversarial_families"
+      ~cells:(List.length instances)
+      ~equal:(fun a b -> List.for_all2 Float.equal a b)
+      pool
+      (fun pool ->
+        Pool.map_list ~chunk:1 pool
+          (fun inst ->
+            Schedule.makespan (Instances.run_online inst).Engine.schedule)
+          instances)
+  in
+  let remaining = ref makespans in
+  List.iteri
+    (fun gi group ->
+      if gi > 0 then Texttab.add_sep tab;
+      List.iter
+        (fun inst ->
+          let t = List.hd !remaining in
+          remaining := List.tl !remaining;
+          (* The simulation must land exactly on the proof's prediction. *)
+          assert (Fcmp.approx ~eps:1e-6 t inst.Instances.predicted_online);
+          Texttab.add_row tab
+            [
+              inst.Instances.name;
+              string_of_int inst.Instances.p;
+              string_of_int (Dag.n inst.Instances.dag);
+              Printf.sprintf "%.2f" t;
+              Printf.sprintf "%.2f" inst.Instances.alternative_makespan;
+              Printf.sprintf "%.4f" (t /. inst.Instances.alternative_makespan);
+              Printf.sprintf "%.4f" inst.Instances.limit_ratio;
+            ])
+        group)
+    groups;
   Texttab.print tab
 
 (* ------------------------------------ Convergence plots (measured ratios) *)
 
-let convergence_plots () =
+let convergence_plots pool () =
   section
     "Convergence plots — measured Algorithm 1 ratio on the adversarial \
      instances vs platform scale, against each theorem's limit";
-  let ratio inst =
-    let r = Instances.run_online inst in
-    Schedule.makespan r.Engine.schedule /. inst.Instances.alternative_makespan
-  in
-  let comm_points =
+  (* One cell per (instance, abscissa); build the instance list on the
+     caller, fan the runs out, then slice the flat ratio list back into the
+     three curves. *)
+  let specs =
     List.map
-      (fun p -> (float_of_int p, ratio (Instances.communication ~p)))
+      (fun p -> (float_of_int p, Instances.communication ~p))
       [ 20; 40; 80; 160; 320; 640; 1280 ]
+    @ List.map
+        (fun k -> (float_of_int (k * k), Instances.amdahl ~k))
+        [ 6; 9; 14; 20; 30; 45; 70 ]
+    @ List.map
+        (fun k -> (float_of_int (k * k), Instances.general ~k))
+        [ 7; 10; 15; 22; 33; 50; 70 ]
   in
-  let amdahl_points =
-    List.map
-      (fun k -> (float_of_int (k * k), ratio (Instances.amdahl ~k)))
-      [ 6; 9; 14; 20; 30; 45; 70 ]
+  let ratios, _ =
+    compare_seq_par ~name:"convergence_plots" ~cells:(List.length specs)
+      ~equal:(fun a b -> List.for_all2 Float.equal a b)
+      pool
+      (fun pool ->
+        Pool.map_list ~chunk:1 pool
+          (fun (_, inst) ->
+            Schedule.makespan (Instances.run_online inst).Engine.schedule
+            /. inst.Instances.alternative_makespan)
+          specs)
   in
-  let general_points =
-    List.map
-      (fun k -> (float_of_int (k * k), ratio (Instances.general ~k)))
-      [ 7; 10; 15; 22; 33; 50; 70 ]
+  let points = List.map2 (fun (x, _) r -> (x, r)) specs ratios in
+  let rec take n = function
+    | [] -> []
+    | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
   in
+  let rec drop n xs =
+    if n = 0 then xs else match xs with [] -> [] | _ :: tl -> drop (n - 1) tl
+  in
+  let comm_points = take 7 points in
+  let amdahl_points = take 7 (drop 7 points) in
+  let general_points = drop 14 points in
   let limit name inst = (inst.Instances.limit_ratio, name) in
   print_string
     (Moldable_viz.Ascii_plot.render ~x_log:true ~xlabel:"P" ~ylabel:"T / T_offline"
@@ -364,62 +490,94 @@ let theorem9 () =
 
 (* ------------------------------------- Empirical validation (future work) *)
 
-let empirical () =
+let empirical pool () =
   section
     "Empirical validation — Algorithm 1 vs baselines on random and realistic \
      workloads (the experimental study the paper's conclusion proposes). \
      Ratios are T / max(A_min/P, C_min); the proven bound caps Algorithm 1 \
      but not the baselines.";
+  (* Instance generation draws from one generator per model family, split
+     off the campaign seed in a fixed order on the caller; only the
+     (policy, instance) evaluation cells fan out, so the campaign is
+     identical at any job count. *)
   let seeds = Rng.create 20220829 in
   let instances_per_family = 25 in
-  List.iter
-    (fun (kind, bound) ->
-      let rng = Rng.split seeds in
-      let dags_layered =
-        List.init instances_per_family (fun _ ->
-            Moldable_workloads.Random_dag.layered ~rng ~n_layers:6 ~width:8
-              ~edge_prob:0.25 ~kind ())
-      in
-      let dags_linalg =
-        List.init 5 (fun i ->
-            Moldable_workloads.Linalg.cholesky ~rng ~tiles:(4 + i) ~kind ())
-      in
-      let dags_sci =
-        List.init 5 (fun i ->
-            Moldable_workloads.Scientific.montage ~rng ~width:(8 + (4 * i))
-              ~kind ())
-      in
-      let dags_cyber =
-        List.init 3 (fun i ->
-            Moldable_workloads.Scientific.cybershake ~rng ~sites:(3 + i)
-              ~variations:8 ~kind ())
-      in
-      let dags_ligo =
-        List.init 3 (fun i ->
-            Moldable_workloads.Scientific.ligo ~rng ~blocks:(3 + i)
-              ~per_block:10 ~kind ())
-      in
-      let policies =
-        Experiment.algorithm1_fixed_mu (Mu.default kind)
-        :: List.tl Experiment.default_policies
-      in
-      let outcomes =
-        Experiment.evaluate ~p:64 ~workload:"layered" ~policies dags_layered
-        @ Experiment.evaluate ~p:64 ~workload:"cholesky" ~policies dags_linalg
-        @ Experiment.evaluate ~p:64 ~workload:"montage" ~policies dags_sci
-        @ Experiment.evaluate ~p:64 ~workload:"cybershake" ~policies dags_cyber
-        @ Experiment.evaluate ~p:64 ~workload:"ligo" ~policies dags_ligo
-      in
+  let campaigns =
+    List.map
+      (fun (kind, bound) ->
+        let rng = Rng.split seeds in
+        let dags_layered =
+          List.init instances_per_family (fun _ ->
+              Moldable_workloads.Random_dag.layered ~rng ~n_layers:6 ~width:8
+                ~edge_prob:0.25 ~kind ())
+        in
+        let dags_linalg =
+          List.init 5 (fun i ->
+              Moldable_workloads.Linalg.cholesky ~rng ~tiles:(4 + i) ~kind ())
+        in
+        let dags_sci =
+          List.init 5 (fun i ->
+              Moldable_workloads.Scientific.montage ~rng ~width:(8 + (4 * i))
+                ~kind ())
+        in
+        let dags_cyber =
+          List.init 3 (fun i ->
+              Moldable_workloads.Scientific.cybershake ~rng ~sites:(3 + i)
+                ~variations:8 ~kind ())
+        in
+        let dags_ligo =
+          List.init 3 (fun i ->
+              Moldable_workloads.Scientific.ligo ~rng ~blocks:(3 + i)
+                ~per_block:10 ~kind ())
+        in
+        let policies =
+          Experiment.algorithm1_fixed_mu (Mu.default kind)
+          :: List.tl Experiment.default_policies
+        in
+        ( kind,
+          bound,
+          policies,
+          [
+            ("layered", dags_layered); ("cholesky", dags_linalg);
+            ("montage", dags_sci); ("cybershake", dags_cyber);
+            ("ligo", dags_ligo);
+          ] ))
+      [
+        (Speedup.Kind_roofline, 2.62);
+        (Speedup.Kind_communication, 3.61);
+        (Speedup.Kind_amdahl, 4.74);
+        (Speedup.Kind_general, 5.72);
+      ]
+  in
+  let cells =
+    List.fold_left
+      (fun acc (_, _, policies, families) ->
+        acc
+        + List.length policies
+          * List.fold_left (fun a (_, dags) -> a + List.length dags) 0 families)
+      0 campaigns
+  in
+  let results, _ =
+    compare_seq_par ~name:"empirical" ~cells
+      ~equal:(fun a b ->
+        List.for_all2 (List.for_all2 Experiment.equal_outcome) a b)
+      pool
+      (fun pool ->
+        List.map
+          (fun (_, _, policies, families) ->
+            List.concat_map
+              (fun (workload, dags) ->
+                Experiment.evaluate ~pool ~p:64 ~workload ~policies dags)
+              families)
+          campaigns)
+  in
+  List.iter2
+    (fun (kind, bound, _, _) outcomes ->
       Printf.printf "--- %s model (proven bound %.2f) ---\n"
         (Speedup.kind_name kind) bound;
       print_string (Report.table ~bound outcomes);
       print_newline ())
-    [
-      (Speedup.Kind_roofline, 2.62);
-      (Speedup.Kind_communication, 3.61);
-      (Speedup.Kind_amdahl, 4.74);
-      (Speedup.Kind_general, 5.72);
-    ]
+    campaigns results
 
 (* -------------------------------- Independent moldable tasks (Table 2 row 1) *)
 
@@ -476,7 +634,7 @@ let independent_section () =
 
 (* -------------------------------------------------- Ablation: mu sensitivity *)
 
-let mu_sensitivity () =
+let mu_sensitivity pool () =
   section
     "Ablation — sensitivity to mu: the theoretical ratio (Lemma 5, \
      minimized over x) and the measured worst ratio on a fixed batch of \
@@ -503,8 +661,32 @@ let mu_sensitivity () =
         ("model"
         :: List.map (fun mu -> Printf.sprintf "mu=%.2f" mu) mus)
   in
-  List.iter
-    (fun (kind, dags) ->
+  (* One cell per (model, mu, instance); the worst-ratio fold happens after
+     the fan-out so the reduction order is fixed. *)
+  let measured, _ =
+    compare_seq_par ~name:"mu_sensitivity"
+      ~cells:(List.length batches * List.length mus * 10)
+      ~equal:(fun a b -> List.for_all2 (List.for_all2 Float.equal) a b)
+      pool
+      (fun pool ->
+        List.map
+          (fun (_, dags) ->
+            List.map
+              (fun mu ->
+                let ratios =
+                  Pool.map_list ~chunk:1 pool
+                    (fun dag ->
+                      snd
+                        (Experiment.run_one ~p:64
+                           (Experiment.algorithm1_fixed_mu mu) dag))
+                    dags
+                in
+                List.fold_left Float.max 1. ratios)
+              mus)
+          batches)
+  in
+  List.iter2
+    (fun (kind, _) worsts ->
       let theory_row =
         List.map
           (fun mu ->
@@ -513,24 +695,10 @@ let mu_sensitivity () =
           mus
       in
       Texttab.add_row tab ((Speedup.kind_name kind ^ " (theory)") :: theory_row);
-      let measured_row =
-        List.map
-          (fun mu ->
-            let worst = ref 1. in
-            List.iter
-              (fun dag ->
-                let _, ratio =
-                  Experiment.run_one ~p:64
-                    (Experiment.algorithm1_fixed_mu mu) dag
-                in
-                worst := Float.max !worst ratio)
-              dags;
-            Printf.sprintf "%.2f" !worst)
-          mus
-      in
       Texttab.add_row tab
-        ((Speedup.kind_name kind ^ " (measured)") :: measured_row))
-    batches;
+        ((Speedup.kind_name kind ^ " (measured)")
+        :: List.map (fun w -> Printf.sprintf "%.2f" w) worsts))
+    batches measured;
   Texttab.print tab;
   print_string
     "Measured worst ratios vary far less than the theoretical curve: the \
@@ -575,7 +743,7 @@ let power_law_section () =
 
 (* ------------------------------------------- Ablation: failure resilience *)
 
-let failures_section () =
+let failures_section pool () =
   section
     "Extension — failure-prone execution (the semi-online scenario of \
      Benoit et al. the paper says its results carry over to): Algorithm 1 \
@@ -593,35 +761,54 @@ let failures_section () =
        dag)
       .Failure_engine.makespan
   in
+  let qs = [ 0.0; 0.1; 0.2; 0.3; 0.5 ] in
+  (* Every q-cell owns its failure stream through the explicit per-run seed,
+     so the sweep fans out without reordering any random draw. *)
+  let rows, _ =
+    compare_seq_par ~name:"failure_sweep" ~cells:(List.length qs)
+      ~equal:(fun a b ->
+        List.for_all2
+          (fun (aa, af, am) (ba, bf, bm) ->
+            aa = ba && af = bf && Float.equal am bm)
+          a b)
+      pool
+      (fun pool ->
+        Pool.map_list ~chunk:1 pool
+          (fun q ->
+            let r =
+              Failure_engine.run ~seed:1
+                ~failures:(Failure_engine.bernoulli ~q)
+                ~p
+                (Online_scheduler.policy
+                   ~allocator:Allocator.algorithm2_per_model ~p ())
+                dag
+            in
+            (match Failure_engine.validate ~dag ~p r with
+            | Ok () -> ()
+            | Error es -> failwith (String.concat "; " es));
+            ( r.Failure_engine.n_attempts,
+              r.Failure_engine.n_failures,
+              r.Failure_engine.makespan ))
+          qs)
+  in
   let tab =
     Texttab.create
       ~headers:
         [ "failure prob q"; "attempts"; "failures"; "makespan"; "slowdown";
           "1/(1-q)" ]
   in
-  List.iter
-    (fun q ->
-      let r =
-        Failure_engine.run ~seed:1
-          ~failures:(Failure_engine.bernoulli ~q)
-          ~p
-          (Online_scheduler.policy ~allocator:Allocator.algorithm2_per_model
-             ~p ())
-          dag
-      in
-      (match Failure_engine.validate ~dag ~p r with
-      | Ok () -> ()
-      | Error es -> failwith (String.concat "; " es));
+  List.iter2
+    (fun q (attempts, failures, makespan) ->
       Texttab.add_row tab
         [
           Printf.sprintf "%.2f" q;
-          string_of_int r.Failure_engine.n_attempts;
-          string_of_int r.Failure_engine.n_failures;
-          Printf.sprintf "%.2f" r.Failure_engine.makespan;
-          Printf.sprintf "%.3f" (r.Failure_engine.makespan /. base);
+          string_of_int attempts;
+          string_of_int failures;
+          Printf.sprintf "%.2f" makespan;
+          Printf.sprintf "%.3f" (makespan /. base);
           Printf.sprintf "%.3f" (1. /. (1. -. q));
         ])
-    [ 0.0; 0.1; 0.2; 0.3; 0.5 ];
+    qs rows;
   Texttab.print tab;
   (* Instrumentation of one representative failure run (q = 0.3), exported
      for offline analysis: counters + utilization timeline + queue depth +
@@ -833,7 +1020,7 @@ let lemmas_section () =
 
 (* ------------------------------------------------- Decision-level tracing *)
 
-let tracing_section () =
+let tracing_section pool () =
   section
     "Decision-level tracing — allocation provenance, execution spans and \
      ratio accounting on a traced Algorithm 1 run (Tracer.null runs are \
@@ -873,25 +1060,44 @@ let tracing_section () =
     (Moldable_viz.Chrome_trace.of_run ~label tracer traced.Sim_core.metrics);
   write_artifact "trace_cholesky_gantt.svg"
     (Moldable_viz.Svg.of_schedule ~label traced.Sim_core.schedule);
-  (* Ratio accounting across workload families, checked against Table 1. *)
-  let entries =
+  (* Ratio accounting across workload families, checked against Table 1.
+     Instance generation keeps the caller's RNG order; the (run, bound)
+     cells fan out. *)
+  let ratio_specs =
     List.concat_map
       (fun kind ->
-        List.map
+        [
+          ( "layered",
+            Moldable_workloads.Random_dag.layered ~rng ~n_layers:6 ~width:8
+              ~edge_prob:0.25 ~kind () );
+          ( "cholesky",
+            Moldable_workloads.Linalg.cholesky ~rng ~tiles:7 ~kind () );
+          ( "montage",
+            Moldable_workloads.Scientific.montage ~rng ~width:16 ~kind () );
+        ])
+      [ Speedup.Kind_roofline; Speedup.Kind_communication;
+        Speedup.Kind_amdahl; Speedup.Kind_general ]
+  in
+  let entries, _ =
+    compare_seq_par ~name:"ratio_report" ~cells:(List.length ratio_specs)
+      ~equal:(fun a b ->
+        List.for_all2
+          (fun (x : Ratio_report.entry) (y : Ratio_report.entry) ->
+            String.equal x.Ratio_report.workload y.Ratio_report.workload
+            && Float.equal x.Ratio_report.makespan y.Ratio_report.makespan
+            && Float.equal x.Ratio_report.lower_bound
+                 y.Ratio_report.lower_bound
+            && Float.equal x.Ratio_report.ratio y.Ratio_report.ratio
+            && Bool.equal x.Ratio_report.within_bound
+                 y.Ratio_report.within_bound)
+          a b)
+      pool
+      (fun pool ->
+        Pool.map_list ~chunk:1 pool
           (fun (workload, dag) ->
             let makespan = Online_scheduler.makespan ~p dag in
             Ratio_report.of_run ~workload ~p ~makespan dag)
-          [
-            ( "layered",
-              Moldable_workloads.Random_dag.layered ~rng ~n_layers:6 ~width:8
-                ~edge_prob:0.25 ~kind () );
-            ( "cholesky",
-              Moldable_workloads.Linalg.cholesky ~rng ~tiles:7 ~kind () );
-            ( "montage",
-              Moldable_workloads.Scientific.montage ~rng ~width:16 ~kind () );
-          ])
-      [ Speedup.Kind_roofline; Speedup.Kind_communication;
-        Speedup.Kind_amdahl; Speedup.Kind_general ]
+          ratio_specs)
   in
   print_newline ();
   print_string (Ratio_report.table entries);
@@ -965,12 +1171,15 @@ let scalability () =
 
 (* --------------------------------------------- Scalability of the hot path *)
 
-let scalability_hot_path () =
+let scalability_hot_path pool () =
   section
     "Scalability (hot path) — heap-backed ready queue + analysis cache vs \
      the seed's sorted-list reference policy, on DAGs up to 10^5 tasks and \
      platforms up to P = 10^5.  'per task' is scheduling overhead divided by \
      the number of tasks.";
+  (* The timed runs stay on a single domain — racing them across workers
+     would corrupt the per-row wall clocks; the pool only accelerates the
+     feasibility validation of the large schedules. *)
   let time_run f =
     let t0 = Sys.time () in
     let r = f () in
@@ -992,7 +1201,7 @@ let scalability_hot_path () =
                ~p ())
             dag)
     in
-    if n <= 10_000 then Validate.check_exn ~dag heap.Engine.schedule;
+    if n <= 10_000 then Validate.check_exn ~pool ~dag heap.Engine.schedule;
     let record_row reference_s =
       scaling_rows :=
         { sc_workload = name; sc_tasks = n; sc_p = p; sc_heap_s = t_heap;
@@ -1097,6 +1306,102 @@ let scalability_hot_path () =
     print_string "\nACCEPTANCE FAILED: 10^5/P=256 row did not run\n";
     exit 1)
 
+(* ----------------------------------------------- Parallel experiment sweep *)
+
+(* The multicore fan-out acceptance section: a full (workload x policy x
+   instance) campaign evaluated once sequentially and once on the domain
+   pool.  The two runs must agree bit-for-bit (every cell is seeded before
+   dispatch), and on a multicore runner jobs=2 must be >= 1.5x faster.  The
+   outcome artifact contains no timings, so it is byte-identical at any job
+   count — CI diffs a --jobs 1 run against a --jobs 2 run. *)
+
+let outcomes_json outcomes =
+  let jf = Printf.sprintf "%.17g" in
+  let jlist xs = String.concat ", " (List.map jf xs) in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\n  \"outcomes\": [";
+  List.iteri
+    (fun i (o : Experiment.outcome) ->
+      if i > 0 then Buffer.add_string buf ",";
+      let s = o.Experiment.summary in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"workload\": %S, \"policy\": %S, \"p\": %d, \"n\": %d, \
+            \"mean\": %s, \"stddev\": %s, \"min\": %s, \"median\": %s, \
+            \"p95\": %s, \"max\": %s, \"ratios\": [%s], \"makespans\": [%s]}"
+           o.Experiment.workload o.Experiment.policy o.Experiment.p
+           s.Stats.n (jf s.Stats.mean) (jf s.Stats.stddev) (jf s.Stats.min)
+           (jf s.Stats.median) (jf s.Stats.p95) (jf s.Stats.max)
+           (jlist o.Experiment.ratios)
+           (jlist o.Experiment.makespans)))
+    outcomes;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let parallel_sweep pool () =
+  section
+    (Printf.sprintf
+       "Parallel sweep — the empirical campaign fanned out over a domain \
+        pool (jobs=%d, %d cores available): per-cell Rng.split seeding \
+        keeps the outcomes bit-identical to the sequential run"
+       (Pool.jobs pool)
+       (Domain.recommended_domain_count ()));
+  let seeds = Rng.create 777_000_001 in
+  let campaign =
+    List.concat_map
+      (fun kind ->
+        (* One sibling generator per workload family, split before any
+           generation so the campaign is a pure function of the seed. *)
+        let rngs = Rng.split_n seeds 2 in
+        [
+          ( Speedup.kind_name kind ^ "/layered",
+            List.init 16 (fun _ ->
+                Moldable_workloads.Random_dag.layered ~rng:rngs.(0)
+                  ~n_layers:7 ~width:10 ~edge_prob:0.25 ~kind ()) );
+          ( Speedup.kind_name kind ^ "/cholesky",
+            List.init 4 (fun i ->
+                Moldable_workloads.Linalg.cholesky ~rng:rngs.(1)
+                  ~tiles:(5 + i) ~kind ()) );
+        ])
+      [ Speedup.Kind_amdahl; Speedup.Kind_communication ]
+  in
+  let policies = Experiment.default_policies in
+  let cells =
+    List.length policies
+    * List.fold_left (fun a (_, dags) -> a + List.length dags) 0 campaign
+  in
+  let outcomes, row =
+    compare_seq_par ~name:"parallel_sweep" ~cells
+      ~equal:(List.for_all2 Experiment.equal_outcome)
+      pool
+      (fun pool ->
+        List.concat_map
+          (fun (workload, dags) ->
+            Experiment.evaluate ~pool ~p:64 ~workload ~policies dags)
+          campaign)
+  in
+  print_string (Report.table outcomes);
+  write_artifact "parallel_sweep_results.json" (outcomes_json outcomes);
+  let speedup = row.pl_seq_s /. Float.max 1e-9 row.pl_par_s in
+  if Pool.jobs pool < 2 then
+    print_string
+      "\nAcceptance: skipped (sequential run; pass --jobs 2 or more).\n"
+  else if Domain.recommended_domain_count () < 2 then
+    Printf.printf
+      "\nAcceptance: skipped (single-core runner; measured %.2fx at \
+       jobs=%d).\n"
+      speedup (Pool.jobs pool)
+  else if speedup >= 1.5 then
+    Printf.printf
+      "\nAcceptance: parallel sweep is %.2fx faster at jobs=%d than the \
+       sequential run on the same campaign (criterion: >= 1.5x).\n"
+      speedup (Pool.jobs pool)
+  else begin
+    Printf.printf "\nACCEPTANCE FAILED: parallel speedup %.2fx < 1.5x\n"
+      speedup;
+    exit 1
+  end
+
 (* ------------------------------------------------ Bechamel micro-benchmarks *)
 
 let micro_benchmarks () =
@@ -1179,7 +1484,19 @@ let micro_benchmarks () =
 let scaling_json () =
   let jf x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null" in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n  \"sections\": [";
+  Buffer.add_string buf (Printf.sprintf "{\n  \"jobs\": %d,\n" !jobs_flag);
+  Buffer.add_string buf "  \"parallel\": [";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"section\": \"%s\", \"jobs\": %d, \"cells\": %d, \"seq_s\": \
+            %s, \"par_s\": %s, \"speedup\": %s}"
+           r.pl_section r.pl_jobs r.pl_cells (jf r.pl_seq_s) (jf r.pl_par_s)
+           (jf (r.pl_seq_s /. Float.max 1e-9 r.pl_par_s))))
+    (List.rev !parallel_rows);
+  Buffer.add_string buf "],\n  \"sections\": [";
   List.iteri
     (fun i (name, dt) ->
       if i > 0 then Buffer.add_string buf ", ";
@@ -1204,36 +1521,47 @@ let scaling_json () =
   Buffer.contents buf
 
 let () =
+  parse_args ();
   Printf.printf
     "Reproduction harness: Online Scheduling of Moldable Task Graphs under \
-     Common Speedup Models (ICPP 2022)\n";
-  let timed name f =
-    let t0 = Clock.now () in
-    f ();
-    section_timings := (name, Clock.now () -. t0) :: !section_timings
-  in
-  timed "table1_upper" table1_upper;
-  timed "table1_lower" table1_lower;
-  timed "table1_measured" table1_measured;
-  timed "convergence_plots" convergence_plots;
-  timed "table2" table2;
-  timed "figure1" figure1;
-  timed "figure2" figure2;
-  timed "figure3" figure3;
-  timed "figure4" figure4;
-  timed "theorem9" theorem9;
-  timed "empirical" empirical;
-  timed "independent" independent_section;
-  timed "mu_sensitivity" mu_sensitivity;
-  timed "power_law" power_law_section;
-  timed "failures" failures_section;
-  timed "release_times" release_times_section;
-  timed "regimes" regimes_section;
-  timed "offline" offline_section;
-  timed "lemmas" lemmas_section;
-  timed "tracing" tracing_section;
-  timed "scalability" scalability;
-  timed "scalability_hot_path" scalability_hot_path;
-  timed "micro_benchmarks" micro_benchmarks;
+     Common Speedup Models (ICPP 2022)%s\n"
+    (if !jobs_flag > 1 then Printf.sprintf " [jobs=%d]" !jobs_flag else "");
+  Pool.with_pool ~jobs:!jobs_flag (fun pool ->
+      let selected name =
+        match !only_flag with
+        | [] -> true
+        | names -> List.mem name names
+      in
+      let timed name f =
+        if selected name then begin
+          let t0 = Clock.now () in
+          f ();
+          section_timings := (name, Clock.now () -. t0) :: !section_timings
+        end
+      in
+      timed "table1_upper" table1_upper;
+      timed "table1_lower" table1_lower;
+      timed "table1_measured" (table1_measured pool);
+      timed "convergence_plots" (convergence_plots pool);
+      timed "table2" table2;
+      timed "figure1" figure1;
+      timed "figure2" figure2;
+      timed "figure3" figure3;
+      timed "figure4" figure4;
+      timed "theorem9" theorem9;
+      timed "empirical" (empirical pool);
+      timed "independent" independent_section;
+      timed "mu_sensitivity" (mu_sensitivity pool);
+      timed "power_law" power_law_section;
+      timed "failures" (failures_section pool);
+      timed "release_times" release_times_section;
+      timed "regimes" regimes_section;
+      timed "offline" offline_section;
+      timed "lemmas" lemmas_section;
+      timed "tracing" (tracing_section pool);
+      timed "scalability" scalability;
+      timed "scalability_hot_path" (scalability_hot_path pool);
+      timed "parallel_sweep" (parallel_sweep pool);
+      timed "micro_benchmarks" micro_benchmarks);
   write_artifact "BENCH_scaling.json" (scaling_json ());
   Printf.printf "\nAll sections completed.\n"

@@ -51,6 +51,23 @@ let seed_arg =
     value & opt int 42
     & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"PRNG seed (runs are reproducible).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains for the parallel parts (policy sweeps fan out per \
+           (policy, instance) cell, large schedules validate in parallel). \
+           Results are bit-identical at any job count; 1 (the default) is \
+           fully sequential.")
+
+let with_jobs jobs f =
+  if jobs < 1 then begin
+    Printf.eprintf "--jobs must be >= 1\n";
+    exit 1
+  end;
+  Pool.with_pool ~jobs f
+
 let workload_conv =
   Arg.enum
     [
@@ -198,7 +215,8 @@ let theorem9_cmd =
 (* -------------------------------------------------------------- simulate *)
 
 let simulate_cmd =
-  let run kind p seed workload n gantt svg load save swf metrics_out =
+  let run kind p seed workload n gantt svg load save swf metrics_out jobs =
+    with_jobs jobs @@ fun pool ->
     let rng = Rng.create seed in
     let dag, releases =
       match (load, swf) with
@@ -238,7 +256,7 @@ let simulate_cmd =
            ~allocator:Allocator.algorithm2_per_model ~p ())
         dag
     in
-    Validate.check_exn ~dag result.Engine.schedule;
+    Validate.check_exn ~pool ~dag result.Engine.schedule;
     let bounds = Bounds.compute ~p dag in
     let makespan = Schedule.makespan result.Engine.schedule in
     Printf.printf "%s\n" (Format.asprintf "%a" Dag.pp_stats dag);
@@ -317,12 +335,14 @@ let simulate_cmd =
        ~doc:"Generate (or load) a workload, run Algorithm 1 on it and report.")
     Term.(
       const run $ kind_arg $ p_arg 64 $ seed_arg $ workload_arg $ size_arg
-      $ gantt_arg $ svg_arg $ load_arg $ save_arg $ swf_arg $ metrics_arg)
+      $ gantt_arg $ svg_arg $ load_arg $ save_arg $ swf_arg $ metrics_arg
+      $ jobs_arg)
 
 (* ----------------------------------------------------------------- trace *)
 
 let trace_cmd =
-  let run kind p seed workload n load chrome gantt explain =
+  let run kind p seed workload n load chrome gantt explain jobs =
+    with_jobs jobs @@ fun pool ->
     let rng = Rng.create seed in
     let dag, workload_name =
       match load with
@@ -347,7 +367,7 @@ let trace_cmd =
     let label i = (Dag.task dag i).Task.label in
     let tracer = Moldable_sim.Tracer.create () in
     let result = Online_scheduler.run_instrumented ~tracer ~p dag in
-    Validate.check_exn ~dag result.Sim_core.schedule;
+    Validate.check_exn ~pool ~dag result.Sim_core.schedule;
     let makespan = Schedule.makespan result.Sim_core.schedule in
     Printf.printf "%s\n" (Format.asprintf "%a" Dag.pp_stats dag);
     Printf.printf "%s\n"
@@ -438,7 +458,7 @@ let trace_cmd =
           accounting vs the Lemma 2 bound, and a self-profile.")
     Term.(
       const run $ kind_arg $ p_arg 64 $ seed_arg $ workload_arg $ size_arg
-      $ load_arg $ chrome_arg $ gantt_arg $ explain_arg)
+      $ load_arg $ chrome_arg $ gantt_arg $ explain_arg $ jobs_arg)
 
 (* ---------------------------------------------------------------- verify *)
 
@@ -466,7 +486,10 @@ let verify_cmd =
 (* ----------------------------------------------------------------- sweep *)
 
 let sweep_cmd =
-  let run kind p seed reps =
+  let run kind p seed reps jobs =
+    with_jobs jobs @@ fun pool ->
+    (* All instances are generated before the fan-out, so the sweep result
+       is independent of the job count. *)
     let rng = Rng.create seed in
     let dags =
       List.init reps (fun _ ->
@@ -477,7 +500,9 @@ let sweep_cmd =
       Experiment.algorithm1_fixed_mu (Mu.default kind)
       :: List.tl Experiment.default_policies
     in
-    let outcomes = Experiment.evaluate ~p ~workload:"layered" ~policies dags in
+    let outcomes =
+      Experiment.evaluate ~pool ~p ~workload:"layered" ~policies dags
+    in
     let bound =
       match kind with
       | Speedup.Kind_roofline -> 2.62
@@ -495,7 +520,7 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Compare Algorithm 1 against the baselines on random instances.")
-    Term.(const run $ kind_arg $ p_arg 64 $ seed_arg $ reps_arg)
+    Term.(const run $ kind_arg $ p_arg 64 $ seed_arg $ reps_arg $ jobs_arg)
 
 let () =
   let info =

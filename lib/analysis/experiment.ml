@@ -43,10 +43,29 @@ let run_one ?(validate = true) ~p spec dag =
   let makespan = Schedule.makespan result.Engine.schedule in
   (makespan, makespan /. lb)
 
-let evaluate ?(validate = true) ~p ~workload ~policies dags =
-  List.map
-    (fun spec ->
-      let pairs = List.map (run_one ~validate ~p spec) dags in
+let evaluate ?(validate = true) ?(pool = Pool.sequential) ~p ~workload
+    ~policies dags =
+  (* Fan out one cell per (policy, instance) pair.  Each cell is a pure
+     function of its (pre-built) DAG and policy spec — no shared mutable
+     state, no RNG draw after dispatch — so the result array is identical
+     at any job count; [Pool.parallel_map] puts cell [i]'s result at
+     index [i].  Cells are heavyweight and heterogeneous, hence chunk 1. *)
+  let dag_arr = Array.of_list dags in
+  let n_dags = Array.length dag_arr in
+  let spec_arr = Array.of_list policies in
+  let cells =
+    Array.init
+      (Array.length spec_arr * n_dags)
+      (fun c -> (spec_arr.(c / n_dags), dag_arr.(c mod n_dags)))
+  in
+  let results =
+    Pool.parallel_map ~chunk:1 pool
+      (fun (spec, dag) -> run_one ~validate ~p spec dag)
+      cells
+  in
+  List.mapi
+    (fun i spec ->
+      let pairs = List.init n_dags (fun j -> results.((i * n_dags) + j)) in
       let makespans = List.map fst pairs in
       let ratios = List.map snd pairs in
       {
@@ -58,3 +77,22 @@ let evaluate ?(validate = true) ~p ~workload ~policies dags =
         summary = Stats.summarize ratios;
       })
     policies
+
+let equal_summary (a : Stats.summary) (b : Stats.summary) =
+  a.Stats.n = b.Stats.n
+  && Float.equal a.Stats.mean b.Stats.mean
+  && Float.equal a.Stats.stddev b.Stats.stddev
+  && Float.equal a.Stats.min b.Stats.min
+  && Float.equal a.Stats.max b.Stats.max
+  && Float.equal a.Stats.median b.Stats.median
+  && Float.equal a.Stats.p95 b.Stats.p95
+
+let equal_outcome a b =
+  String.equal a.workload b.workload
+  && String.equal a.policy b.policy
+  && a.p = b.p
+  && List.compare_lengths a.ratios b.ratios = 0
+  && List.for_all2 Float.equal a.ratios b.ratios
+  && List.compare_lengths a.makespans b.makespans = 0
+  && List.for_all2 Float.equal a.makespans b.makespans
+  && equal_summary a.summary b.summary

@@ -29,11 +29,18 @@ val default_policies : policy_spec list
 (** Algorithm 1 plus the {!Moldable_core.Baselines}. *)
 
 val evaluate :
-  ?validate:bool -> p:int -> workload:string -> policies:policy_spec list ->
-  Dag.t list -> outcome list
+  ?validate:bool -> ?pool:Pool.t -> p:int -> workload:string ->
+  policies:policy_spec list -> Dag.t list -> outcome list
 (** Runs every policy over every graph.  With [validate] (default true)
     every schedule is checked by {!Moldable_sim.Validate} and a failure
-    raises. *)
+    raises.  [pool] (default {!Moldable_util.Pool.sequential}) fans the
+    (policy, instance) cells out over its domains; every cell is a pure
+    function of its inputs, so the outcomes are bit-for-bit identical at
+    any job count. *)
 
 val run_one : ?validate:bool -> p:int -> policy_spec -> Dag.t -> float * float
 (** [(makespan, ratio)] for one instance. *)
+
+val equal_outcome : outcome -> outcome -> bool
+(** Exact (bit-for-bit, [Float.equal]) equality of two outcomes — the
+    determinism check used by the parallel-sweep self-tests. *)

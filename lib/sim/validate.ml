@@ -1,22 +1,33 @@
 open Moldable_model
 open Moldable_graph
 
-let check ~dag sched =
+let check ?(pool = Moldable_util.Pool.sequential) ~dag sched =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
   let n = Dag.n dag in
   if Schedule.n sched <> n then
     err "schedule has %d tasks but the graph has %d" (Schedule.n sched) n;
   let m = min n (Schedule.n sched) in
-  (* Durations. *)
-  for i = 0 to m - 1 do
-    let pl = Schedule.placement sched i in
-    let expected = Task.time (Dag.task dag i) pl.Schedule.nprocs in
-    let actual = pl.Schedule.finish -. pl.Schedule.start in
-    if not (Moldable_util.Fcmp.approx ~eps:1e-6 expected actual) then
-      err "task %d on %d procs should run %.9g time units but runs %.9g" i
-        pl.Schedule.nprocs expected actual
-  done;
+  (* Durations: independent per task, so chunked over the pool; the option
+     array keeps error messages in task-index order regardless of which
+     domain produced them. *)
+  let duration_errors =
+    Moldable_util.Pool.parallel_map pool
+      (fun i ->
+        let pl = Schedule.placement sched i in
+        let expected = Task.time (Dag.task dag i) pl.Schedule.nprocs in
+        let actual = pl.Schedule.finish -. pl.Schedule.start in
+        if not (Moldable_util.Fcmp.approx ~eps:1e-6 expected actual) then
+          Some
+            (Printf.sprintf
+               "task %d on %d procs should run %.9g time units but runs %.9g"
+               i pl.Schedule.nprocs expected actual)
+        else None)
+      (Array.init m (fun i -> i))
+  in
+  Array.iter
+    (function Some e -> errors := e :: !errors | None -> ())
+    duration_errors;
   (* Precedence. *)
   List.iter
     (fun (i, j) ->
@@ -63,8 +74,8 @@ let check ~dag sched =
     events;
   match !errors with [] -> Ok () | es -> Error (List.rev es)
 
-let check_exn ~dag sched =
-  match check ~dag sched with
+let check_exn ?pool ~dag sched =
+  match check ?pool ~dag sched with
   | Ok () -> ()
   | Error es -> failwith ("invalid schedule:\n  " ^ String.concat "\n  " es)
 

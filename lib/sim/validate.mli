@@ -16,10 +16,14 @@
 
 open Moldable_graph
 
-val check : dag:Dag.t -> Schedule.t -> (unit, string list) result
-(** All violations found, or [Ok ()]. *)
+val check :
+  ?pool:Moldable_util.Pool.t -> dag:Dag.t -> Schedule.t ->
+  (unit, string list) result
+(** All violations found, or [Ok ()].  [pool] (default sequential) fans the
+    per-task duration checks out over its domains; the error list is
+    identical at any job count. *)
 
-val check_exn : dag:Dag.t -> Schedule.t -> unit
+val check_exn : ?pool:Moldable_util.Pool.t -> dag:Dag.t -> Schedule.t -> unit
 (** @raise Failure with the concatenated violations. *)
 
 val respects_allocation_bound : dag:Dag.t -> Schedule.t -> bool

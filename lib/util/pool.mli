@@ -1,0 +1,64 @@
+(** Fixed-size OCaml 5 domain pool for embarrassingly parallel sweeps.
+
+    The evaluation stack (experiment campaigns, adversarial families,
+    failure sweeps) is a grid of independent (policy, instance) cells; this
+    pool fans those cells out over a fixed set of worker domains while
+    keeping every result bit-for-bit identical to a sequential run:
+
+    - [parallel_map] and [parallel_for] preserve input order in the output —
+      cell [i]'s result lands at index [i] regardless of which domain ran it
+      and in which order.
+    - Randomness must be split {e before} dispatch (see
+      {!Moldable_util.Rng.split_n}): every cell owns an [Rng.t] derived from
+      the campaign seed by the caller, so the schedule of domains cannot
+      perturb any stream.
+    - A pool with [jobs = 1] (the default) spawns no domains and degrades to
+      plain [Array.map] / [for] loops, so single-job behavior is exactly the
+      pre-pool code path.
+
+    An exception raised by the mapped function is captured on whichever
+    domain it occurred, the remaining chunks are abandoned (elements not yet
+    started may never run), and the first captured exception is re-raised on
+    the caller with its backtrace.  The pool survives and can be reused.
+
+    Calls are serialized: one bulk operation runs at a time.  A nested call
+    from inside a mapped function (on this or any pool) falls back to
+    sequential execution on the calling domain instead of deadlocking. *)
+
+type t
+
+val sequential : t
+(** A shared [jobs = 1] pool: no domains, pure sequential execution.  The
+    default for every [?pool] argument in the repository. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (the caller of a bulk
+    operation participates as the [jobs]-th worker).  [jobs] defaults to 1.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** The parallelism degree the pool was created with. *)
+
+val parallel_map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f arr] is [Array.map f arr] computed on the pool's
+    domains; [(parallel_map pool f arr).(i) = f arr.(i)] for every [i].
+    [chunk] is the number of consecutive elements a domain claims at a time
+    (default: [length / (jobs * 8)], at least 1 — pass [~chunk:1] for
+    heavyweight heterogeneous cells). *)
+
+val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** [List.map f xs] on the pool, preserving order. *)
+
+val parallel_for : ?chunk:int -> t -> start:int -> finish:int ->
+  (int -> unit) -> unit
+(** [parallel_for pool ~start ~finish f] runs [f i] for every
+    [start <= i <= finish] (inclusive, Domainslib-style); no-op when
+    [start > finish].  The iterations must be independent. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains.  Idempotent; subsequent bulk operations raise
+    [Invalid_argument].  [shutdown sequential] is a no-op. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down on the
+    way out (also on exceptions). *)

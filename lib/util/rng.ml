@@ -19,6 +19,19 @@ let split t =
   let s = int64 t in
   { state = s }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  if n = 0 then [||]
+  else begin
+    (* Explicit order: [Array.init] does not specify its evaluation order and
+       [split] mutates [t], so siblings are drawn with a plain loop. *)
+    let out = Array.make n (split t) in
+    for i = 1 to n - 1 do
+      out.(i) <- split t
+    done;
+    out
+  end
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection-free for our purposes: modulo bias is negligible because bound

@@ -18,6 +18,14 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent from the remainder of [t]'s stream. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] draws [n] sibling generators by [n] successive {!split}s
+    (element [0] first), leaving [t] advanced by [n] steps.  This is the
+    seeding primitive for parallel sweeps: split one generator per cell
+    {e before} dispatching to a {!Pool}, so results do not depend on the
+    execution order of the domains.
+    @raise Invalid_argument if [n < 0]. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

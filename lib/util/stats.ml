@@ -49,19 +49,41 @@ let percentile q xs =
     if i + 1 >= n then arr.(n - 1)
     else arr.(i) +. (frac *. (arr.(i + 1) -. arr.(i)))
 
+(* Linear interpolation at quantile [q] of an already-sorted array. *)
+let interpolate_sorted arr q =
+  let n = Array.length arr in
+  let pos = q *. float_of_int (n - 1) in
+  let i = int_of_float pos in
+  let frac = pos -. float_of_int i in
+  if i + 1 >= n then arr.(n - 1)
+  else arr.(i) +. (frac *. (arr.(i + 1) -. arr.(i)))
+
 let summarize xs =
   match xs with
   | [] -> invalid_arg "Stats.summarize: empty sample"
   | _ ->
     check_finite "Stats.summarize" xs;
+    (* One sort, one pass: min/max/median/p95 read off the sorted array,
+       mean and variance accumulate in the same pass (Welford's update, so
+       the variance never goes negative from catastrophic cancellation). *)
+    let arr = Array.of_list xs in
+    Array.sort Float.compare arr;
+    let n = Array.length arr in
+    let mean = ref 0. and m2 = ref 0. in
+    Array.iteri
+      (fun i x ->
+        let d = x -. !mean in
+        mean := !mean +. (d /. float_of_int (i + 1));
+        m2 := !m2 +. (d *. (x -. !mean)))
+      arr;
     {
-      n = List.length xs;
-      mean = mean xs;
-      stddev = stddev xs;
-      min = List.fold_left Float.min Float.infinity xs;
-      max = List.fold_left Float.max Float.neg_infinity xs;
-      median = percentile 0.5 xs;
-      p95 = percentile 0.95 xs;
+      n;
+      mean = !mean;
+      stddev = (if n <= 1 then 0. else sqrt (!m2 /. float_of_int (n - 1)));
+      min = arr.(0);
+      max = arr.(n - 1);
+      median = interpolate_sorted arr 0.5;
+      p95 = interpolate_sorted arr 0.95;
     }
 
 let pp_summary ppf s =

@@ -11,7 +11,9 @@ type summary = {
 }
 
 val summarize : float list -> summary
-(** Summary of a non-empty sample of finite floats.
+(** Summary of a non-empty sample of finite floats.  Sorts the sample once
+    and computes every field in a single pass (Welford's update for the
+    variance), so it is safe to call per cell in large sweeps.
     @raise Invalid_argument on an empty list or a non-finite sample. *)
 
 val mean : float list -> float

@@ -201,6 +201,31 @@ let test_algorithm1_respects_proven_bound () =
       (Speedup.Kind_general, 5.72);
     ]
 
+(* Parallel evaluation must be invisible: the same sweep run at 1, 2 and 4
+   jobs yields outcome-for-outcome identical results (exact float equality,
+   not approximate — the per-cell computation is untouched by the fan-out). *)
+let prop_evaluate_jobs_invariant =
+  QCheck.Test.make ~count:5 ~name:"evaluate is identical at jobs in {1,2,4}"
+    QCheck.(pair small_nat (int_range 2 4))
+    (fun (seed, width) ->
+      let dags =
+        let rng = Rng.create (1000 + seed) in
+        List.init 4 (fun _ ->
+            Moldable_workloads.Random_dag.layered ~rng ~n_layers:3 ~width
+              ~edge_prob:0.4 ~kind:Speedup.Kind_amdahl ())
+      in
+      let eval pool =
+        Experiment.evaluate ~pool ~p:16 ~workload:"layered"
+          ~policies:Experiment.default_policies dags
+      in
+      let reference = eval Pool.sequential in
+      List.for_all
+        (fun jobs ->
+          let outcomes = Pool.with_pool ~jobs (fun pool -> eval pool) in
+          List.length outcomes = List.length reference
+          && List.for_all2 Experiment.equal_outcome outcomes reference)
+        [ 1; 2; 4 ])
+
 (* ---------------------------------------------------------------- Report *)
 
 let test_report_renders () =
@@ -221,6 +246,7 @@ let test_report_renders () =
   Alcotest.(check bool) "renders without bound" true (String.length s2 > 0)
 
 let () =
+  let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "analysis"
     [
       ( "intervals",
@@ -247,6 +273,7 @@ let () =
           Alcotest.test_case "evaluate shapes" `Quick test_evaluate_shapes;
           Alcotest.test_case "Algorithm 1 respects Table 1 bounds" `Quick
             test_algorithm1_respects_proven_bound;
+          qt prop_evaluate_jobs_invariant;
         ] );
       ( "report",
         [ Alcotest.test_case "renders" `Quick test_report_renders ] );

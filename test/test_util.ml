@@ -428,6 +428,230 @@ let test_texttab_alignment_width () =
     List.iter (fun w' -> Alcotest.(check int) "equal row widths" w w') rest
   | [] -> Alcotest.fail "no rows rendered"
 
+(* -------------------------------------------------------------- Rng.split_n *)
+
+let test_rng_split_n_matches_split () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  let arr = Rng.split_n a 5 in
+  Alcotest.(check int) "length" 5 (Array.length arr);
+  (* Element i is exactly the i-th successive [split]. *)
+  Array.iter
+    (fun sib ->
+      let manual = Rng.split b in
+      for _ = 1 to 8 do
+        Alcotest.(check int64) "sibling stream" (Rng.int64 manual)
+          (Rng.int64 sib)
+      done)
+    arr;
+  (* The parents advanced identically. *)
+  Alcotest.(check int64) "parent stream in sync" (Rng.int64 b) (Rng.int64 a)
+
+let test_rng_split_n_edge () =
+  let t = Rng.create 3 in
+  Alcotest.(check int) "zero siblings" 0 (Array.length (Rng.split_n t 0));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Rng.split_n: negative count") (fun () ->
+      ignore (Rng.split_n t (-1)))
+
+(* Sibling streams must be usable as independent per-cell generators: no
+   shared outputs and no pairwise linear correlation.  Deterministic (fixed
+   seed), so this either always passes or flags a real generator defect. *)
+let test_rng_split_independence () =
+  let t = Rng.create 12345 in
+  let n_sib = 24 and n_draw = 256 in
+  let sibs = Rng.split_n t n_sib in
+  (* Overlap: across all siblings, the first 64 raw outputs are distinct. *)
+  let seen = Hashtbl.create (n_sib * 64) in
+  Array.iter
+    (fun sib ->
+      let r = Rng.copy sib in
+      for _ = 1 to 64 do
+        let v = Rng.int64 r in
+        Alcotest.(check bool) "no overlap between sibling streams" false
+          (Hashtbl.mem seen v);
+        Hashtbl.add seen v ()
+      done)
+    sibs;
+  (* Correlation: pairwise Pearson coefficient of the uniform floats. *)
+  let draws =
+    Array.map
+      (fun sib ->
+        let r = Rng.copy sib in
+        Array.init n_draw (fun _ -> Rng.float r 1.))
+      sibs
+  in
+  let pearson xs ys =
+    let n = float_of_int n_draw in
+    let mean a = Array.fold_left ( +. ) 0. a /. n in
+    let mx = mean xs and my = mean ys in
+    let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+    for i = 0 to n_draw - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    !sxy /. sqrt (!sxx *. !syy)
+  in
+  for i = 0 to n_sib - 1 do
+    for j = i + 1 to n_sib - 1 do
+      let r = pearson draws.(i) draws.(j) in
+      if Float.abs r >= 0.3 then
+        Alcotest.failf "siblings %d and %d correlate: r = %.3f" i j r
+    done
+  done
+
+(* ------------------------------------------------------ Stats (one pass) *)
+
+(* Regression: the one-pass summarize must reproduce the historical
+   two-pass values (naive mean/stddev, interpolated percentiles). *)
+let test_stats_one_pass_regression () =
+  let xs = [ 3.; 1.; 4.; 1.; 5.; 9.; 2.; 6.; 5.; 3. ] in
+  let s = Stats.summarize xs in
+  Alcotest.(check int) "n" 10 s.Stats.n;
+  check_float "mean" 3.9 s.Stats.mean;
+  check_float "stddev" (sqrt 6.1) s.Stats.stddev;
+  check_float "min" 1. s.Stats.min;
+  check_float "max" 9. s.Stats.max;
+  check_float "median" 3.5 s.Stats.median;
+  check_float "p95" 7.65 s.Stats.p95;
+  (* And against the independently computed two-pass formulas. *)
+  let n = float_of_int (List.length xs) in
+  let naive_mean = List.fold_left ( +. ) 0. xs /. n in
+  let naive_sd =
+    sqrt
+      (List.fold_left (fun a x -> a +. ((x -. naive_mean) ** 2.)) 0. xs
+      /. (n -. 1.))
+  in
+  check_float "mean = naive mean" naive_mean s.Stats.mean;
+  check_float "stddev = naive stddev" naive_sd s.Stats.stddev;
+  check_float "median = percentile 0.5" (Stats.percentile 0.5 xs)
+    s.Stats.median;
+  check_float "p95 = percentile 0.95" (Stats.percentile 0.95 xs) s.Stats.p95
+
+let test_stats_one_pass_singleton () =
+  let s = Stats.summarize [ 2.5 ] in
+  Alcotest.(check int) "n" 1 s.Stats.n;
+  check_float "mean" 2.5 s.Stats.mean;
+  check_float "stddev" 0. s.Stats.stddev;
+  check_float "median" 2.5 s.Stats.median;
+  check_float "p95" 2.5 s.Stats.p95
+
+let prop_stats_summarize_matches_two_pass =
+  QCheck.Test.make ~count:200 ~name:"summarize agrees with two-pass formulas"
+    QCheck.(list_of_size (Gen.int_range 1 40) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let s = Stats.summarize xs in
+      let close a b = Float.abs (a -. b) <= 1e-9 *. (1. +. Float.abs a) in
+      close s.Stats.mean (Stats.mean xs)
+      && close s.Stats.stddev (Stats.stddev xs)
+      && close s.Stats.median (Stats.percentile 0.5 xs)
+      && close s.Stats.p95 (Stats.percentile 0.95 xs)
+      && Float.equal s.Stats.min (List.fold_left Float.min Float.infinity xs)
+      && Float.equal s.Stats.max
+           (List.fold_left Float.max Float.neg_infinity xs))
+
+(* ------------------------------------------------------------------ Pool *)
+
+let test_pool_map_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let arr = Array.init 100 (fun i -> i) in
+      Alcotest.(check (array int))
+        "order preserved" (Array.map (fun i -> i * i) arr)
+        (Pool.parallel_map pool (fun i -> i * i) arr))
+
+let test_pool_map_empty_and_single () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check (array int)) "empty" [||]
+        (Pool.parallel_map pool (fun i -> i + 1) [||]);
+      Alcotest.(check (array int)) "single" [| 8 |]
+        (Pool.parallel_map pool (fun i -> i * 2) [| 4 |]))
+
+let test_pool_more_jobs_than_items () =
+  Pool.with_pool ~jobs:8 (fun pool ->
+      Alcotest.(check (list int)) "3 items on 8 jobs" [ 1; 2; 3 ]
+        (Pool.map_list pool (fun i -> i + 1) [ 0; 1; 2 ]))
+
+let test_pool_sequential_default () =
+  let pool = Pool.create () in
+  Alcotest.(check int) "default is 1 job" 1 (Pool.jobs pool);
+  Alcotest.(check (array int)) "sequential map" [| 0; 2; 4 |]
+    (Pool.parallel_map pool (fun i -> 2 * i) [| 0; 1; 2 |]);
+  Pool.shutdown pool;
+  Alcotest.check_raises "jobs < 1 rejected"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0 ()))
+
+let test_pool_exception_and_reuse () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      (* The mapped function's exception surfaces on the caller... *)
+      (match
+         Pool.parallel_map pool
+           (fun i -> if i = 5 then failwith "boom" else i)
+           (Array.init 10 (fun i -> i))
+       with
+      | _ -> Alcotest.fail "expected the cell's exception to re-raise"
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg);
+      (* ...and the pool stays usable afterwards. *)
+      Alcotest.(check (array int)) "pool survives a failing job"
+        [| 0; 1; 4; 9 |]
+        (Pool.parallel_map pool (fun i -> i * i) (Array.init 4 (fun i -> i))))
+
+let test_pool_nested_falls_back () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let inner i =
+        (* A nested bulk operation on the same pool must not deadlock: it
+           degrades to sequential execution on the calling domain. *)
+        Array.fold_left ( + ) 0
+          (Pool.parallel_map pool (fun j -> i * j) (Array.init 10 (fun j -> j)))
+      in
+      Alcotest.(check (array int)) "nested map falls back"
+        (Array.init 6 (fun i -> i * 45))
+        (Pool.parallel_map pool inner (Array.init 6 (fun i -> i))))
+
+let test_pool_parallel_for () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let out = Array.make 101 0 in
+      Pool.parallel_for pool ~start:3 ~finish:100 (fun i -> out.(i) <- i);
+      Alcotest.(check (array int)) "inclusive bounds"
+        (Array.init 101 (fun i -> if i >= 3 then i else 0))
+        out;
+      (* Empty range is a no-op. *)
+      Pool.parallel_for pool ~start:5 ~finish:4 (fun _ ->
+          Alcotest.fail "empty range must not run"))
+
+let test_pool_chunk_override () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.(check (array int)) "chunk=3"
+        (Array.init 10 (fun i -> i + 1))
+        (Pool.parallel_map ~chunk:3 pool (fun i -> i + 1)
+           (Array.init 10 (fun i -> i)));
+      Alcotest.check_raises "chunk < 1 rejected"
+        (Invalid_argument "Pool: chunk must be >= 1") (fun () ->
+          ignore
+            (Pool.parallel_map ~chunk:0 pool (fun i -> i)
+               (Array.init 4 (fun i -> i)))))
+
+let test_pool_shutdown_rejects () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "use after shutdown"
+    (Invalid_argument "Pool: pool is shut down") (fun () ->
+      ignore (Pool.parallel_map pool (fun i -> i) (Array.init 4 (fun i -> i))))
+
+let prop_pool_map_matches_sequential =
+  QCheck.Test.make ~count:30
+    ~name:"parallel_map = Array.map at jobs in {1,2,4}"
+    QCheck.(pair (int_range 1 3) (list (int_bound 1000)))
+    (fun (jobs_sel, xs) ->
+      let jobs = [| 1; 2; 4 |].(jobs_sel - 1) in
+      let arr = Array.of_list xs in
+      let expected = Array.map (fun x -> (2 * x) + 1) arr in
+      Pool.with_pool ~jobs (fun pool ->
+          expected = Pool.parallel_map pool (fun x -> (2 * x) + 1) arr))
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "util"
@@ -458,6 +682,11 @@ let () =
           Alcotest.test_case "uniform mean" `Quick test_rng_mean_uniform;
           Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
           Alcotest.test_case "invalid args" `Quick test_rng_invalid_args;
+          Alcotest.test_case "split_n matches split" `Quick
+            test_rng_split_n_matches_split;
+          Alcotest.test_case "split_n edge cases" `Quick test_rng_split_n_edge;
+          Alcotest.test_case "split_n sibling independence" `Quick
+            test_rng_split_independence;
         ] );
       ( "pqueue",
         [
@@ -506,6 +735,29 @@ let () =
             test_stats_rejects_non_finite;
           Alcotest.test_case "percentile order" `Quick
             test_stats_percentile_order_robust;
+          Alcotest.test_case "one-pass regression" `Quick
+            test_stats_one_pass_regression;
+          Alcotest.test_case "one-pass singleton" `Quick
+            test_stats_one_pass_singleton;
+          qt prop_stats_summarize_matches_two_pass;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+          Alcotest.test_case "empty and single item" `Quick
+            test_pool_map_empty_and_single;
+          Alcotest.test_case "more jobs than items" `Quick
+            test_pool_more_jobs_than_items;
+          Alcotest.test_case "sequential default" `Quick
+            test_pool_sequential_default;
+          Alcotest.test_case "exception surfaces, pool reusable" `Quick
+            test_pool_exception_and_reuse;
+          Alcotest.test_case "nested map falls back" `Quick
+            test_pool_nested_falls_back;
+          Alcotest.test_case "parallel_for" `Quick test_pool_parallel_for;
+          Alcotest.test_case "chunk override" `Quick test_pool_chunk_override;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown_rejects;
+          qt prop_pool_map_matches_sequential;
         ] );
       ( "texttab",
         [
