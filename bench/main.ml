@@ -1402,6 +1402,169 @@ let parallel_sweep pool () =
     exit 1
   end
 
+(* ------------------------------------------- Exact rational shadow oracle *)
+
+(* Differential acceptance gate: every float comparison the online scheduler
+   made — completion stamps, batch merges, precedence, occupancy, Algorithm
+   2 allocations, the Lemma 2 bound and the ratio denominator — is replayed
+   in exact rational arithmetic (lib/exact).  Cells cover random (model,
+   DAG, P) triples for all five speedup families plus the Figure 1 and
+   Figure 3 adversarial constructions; each cell is a pure function of its
+   seed, so the sweep fans out deterministically.  One unexplained
+   divergence fails the bench. *)
+
+let exact_oracle pool () =
+  section
+    "Exact rational shadow oracle — float scheduler runs replayed \
+     comparison-by-comparison in exact arithmetic; divergences must be \
+     explained by the documented float tolerances";
+  let module Shadow = Moldable_exact.Shadow in
+  (* One cell: run the float scheduler, replay it exactly, summarize.  The
+     summary tuple is structurally comparable, so the seq-vs-par determinism
+     check of [compare_seq_par] applies verbatim. *)
+  let check_cell ~name ~mu ~dag ~p result =
+    let r = Shadow.check ~mu ~dag ~p result in
+    ( name,
+      r.Shadow.checks,
+      r.Shadow.n_explained,
+      r.Shadow.n_unexplained,
+      (if r.Shadow.divergences = [] then "" else Shadow.report_to_json r) )
+  in
+  let random_cell seed =
+    let rng = Rng.create (0x0AC1E + seed) in
+    let kind =
+      match Rng.int rng 5 with
+      | 0 -> Speedup.Kind_roofline
+      | 1 -> Speedup.Kind_communication
+      | 2 -> Speedup.Kind_amdahl
+      | 3 -> Speedup.Kind_general
+      | _ -> Speedup.Kind_power
+    in
+    let dag =
+      match Rng.int rng 3 with
+      | 0 ->
+        Moldable_workloads.Random_dag.layered ~rng
+          ~n_layers:(Rng.int_range rng 2 6)
+          ~width:(Rng.int_range rng 1 8)
+          ~edge_prob:(Rng.float_range rng 0.05 0.6)
+          ~kind ()
+      | 1 ->
+        Moldable_workloads.Random_dag.independent ~rng
+          ~n:(Rng.int_range rng 1 30) ~kind ()
+      | _ ->
+        Moldable_workloads.Random_dag.erdos_renyi ~rng
+          ~n:(Rng.int_range rng 2 25)
+          ~edge_prob:(Rng.float_range rng 0.05 0.4)
+          ~kind ()
+    in
+    let p = Rng.int_range rng 2 128 in
+    let mu = Mu.default kind in
+    (* A slice of the cells exercises the failure/retry and release-time
+       paths, whose batch merges are the trickiest float comparisons. *)
+    let with_failures = seed mod 5 = 0 in
+    let release_times =
+      if seed mod 7 = 0 then
+        Some (Array.init (Dag.n dag) (fun _ -> Rng.float_range rng 0. 5.))
+      else None
+    in
+    let result =
+      Online_scheduler.run_instrumented
+        ~allocator:(Allocator.algorithm2 ~mu)
+        ?release_times ~seed
+        ~failures:
+          (if with_failures then Sim_core.bernoulli ~q:0.15 else Sim_core.never)
+        ~max_attempts:64 ~p dag
+    in
+    check_cell
+      ~name:
+        (Printf.sprintf "random-%04d/%s%s" seed (Speedup.kind_name kind)
+           (if with_failures then "+failures" else ""))
+      ~mu ~dag ~p result
+  in
+  let adversarial_cells () =
+    let of_instance (inst : Instances.t) =
+      let result =
+        Online_scheduler.run_instrumented
+          ~allocator:(Allocator.algorithm2 ~mu:inst.Instances.mu)
+          ~p:inst.Instances.p inst.Instances.dag
+      in
+      check_cell ~name:inst.Instances.name ~mu:inst.Instances.mu
+        ~dag:inst.Instances.dag ~p:inst.Instances.p result
+    in
+    let of_chains ell =
+      let inst = Chains.build ~ell in
+      let mu = Mu.default Speedup.Kind_arbitrary in
+      let result =
+        Online_scheduler.run_instrumented
+          ~allocator:(Allocator.algorithm2 ~mu)
+          ~p:inst.Chains.p inst.Chains.dag
+      in
+      check_cell
+        ~name:(Printf.sprintf "thm9-chains(l=%d)" ell)
+        ~mu ~dag:inst.Chains.dag ~p:inst.Chains.p result
+    in
+    List.map of_instance
+      (List.map (fun p -> Instances.roofline ~p) [ 100; 1000 ]
+      @ List.map (fun p -> Instances.communication ~p) [ 100; 500 ]
+      @ List.map (fun k -> Instances.amdahl ~k) [ 10; 30 ]
+      @ List.map (fun k -> Instances.general ~k) [ 10; 30 ])
+    @ List.map of_chains [ 1; 2 ]
+  in
+  let n_random = 1000 in
+  let seeds = List.init n_random (fun i -> i) in
+  let cells, _ =
+    compare_seq_par ~name:"exact_oracle"
+      ~cells:(n_random + 10)
+      ~equal:(fun a b -> a = b)
+      pool
+      (fun pool ->
+        Pool.map_list ~chunk:8 pool random_cell seeds @ adversarial_cells ())
+  in
+  let checks = List.fold_left (fun a (_, c, _, _, _) -> a + c) 0 cells in
+  let explained = List.fold_left (fun a (_, _, e, _, _) -> a + e) 0 cells in
+  let unexplained = List.fold_left (fun a (_, _, _, u, _) -> a + u) 0 cells in
+  let flagged =
+    List.filter (fun (_, _, _, _, json) -> json <> "") cells
+  in
+  Printf.printf
+    "%d cells (%d random + %d adversarial), %d exact checks: %d explained \
+     divergence(s), %d unexplained\n"
+    (List.length cells) n_random
+    (List.length cells - n_random)
+    checks explained unexplained;
+  List.iter
+    (fun (name, _, e, u, _) ->
+      Printf.printf "  flagged cell %s: %d explained, %d unexplained\n" name e
+        u)
+    flagged;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"cells\": %d,\n  \"checks\": %d,\n  \"n_explained\": %d,\n  \
+        \"n_unexplained\": %d,\n  \"flagged\": ["
+       (List.length cells) checks explained unexplained);
+  List.iteri
+    (fun i (name, _, _, _, json) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf "\n    {\"cell\": %S, \"report\": %s}" name json))
+    flagged;
+  Buffer.add_string buf "\n  ]\n}\n";
+  write_artifact "exact_oracle_divergences.json" (Buffer.contents buf);
+  if unexplained > 0 then begin
+    Printf.printf
+      "\nACCEPTANCE FAILED: %d unexplained float-vs-exact divergence(s) — \
+       see exact_oracle_divergences.json\n"
+      unexplained;
+    exit 1
+  end
+  else
+    Printf.printf
+      "\nAcceptance: zero unexplained divergences across %d cells (%d exact \
+       checks; %d boundary divergence(s) explained by documented \
+       tolerances).\n"
+      (List.length cells) checks explained
+
 (* ------------------------------------------------ Bechamel micro-benchmarks *)
 
 let micro_benchmarks () =
@@ -1562,6 +1725,7 @@ let () =
       timed "scalability" scalability;
       timed "scalability_hot_path" (scalability_hot_path pool);
       timed "parallel_sweep" (parallel_sweep pool);
+      timed "exact_oracle" (exact_oracle pool);
       timed "micro_benchmarks" micro_benchmarks);
   write_artifact "BENCH_scaling.json" (scaling_json ());
   Printf.printf "\nAll sections completed.\n"

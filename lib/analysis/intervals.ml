@@ -12,7 +12,10 @@ type summary = {
 let classify ~mu sched =
   let p = Schedule.p sched in
   let lo = Moldable_core.Mu.cap ~mu ~p in
-  let hi = int_of_float (ceil ((1. -. mu) *. float_of_int p)) in
+  (* Guarded ceil: same float-floor bug class as Mu.cap — an exactly
+     integral (1 - mu) P landing an ulp high would widen the T3 band by a
+     whole processor. *)
+  let hi = Moldable_util.Numerics.iceil_guarded ((1. -. mu) *. float_of_int p) in
   let t1 = ref 0. and t2 = ref 0. and t3 = ref 0. and idle = ref 0. in
   List.iter
     (fun (t0, t1', busy) ->

@@ -61,7 +61,8 @@ let verify ~mu ~dag sched =
 let no_wait_below_high_utilization ~mu (result : Engine.result) =
   let sched = result.Engine.schedule in
   let p = Schedule.p sched in
-  let hi = int_of_float (ceil ((1. -. mu) *. float_of_int p)) in
+  (* Guarded ceil, matching Intervals.classify's utilization bands. *)
+  let hi = Moldable_util.Numerics.iceil_guarded ((1. -. mu) *. float_of_int p) in
   (* Waiting windows: Ready -> Start per task. *)
   let n = Schedule.n sched in
   let ready = Array.make n nan in

@@ -3,6 +3,7 @@ open Moldable_model
 type decision = {
   p_star : int;
   beta_budget : float;
+  step1_bound : float;
   cap : int;
   cap_applied : bool;
   final_alloc : int;
@@ -23,6 +24,7 @@ let default_explain rule (a : Task.analyzed) =
   {
     p_star = q;
     beta_budget = Float.nan;
+    step1_bound = Float.nan;
     cap = a.Task.p;
     cap_applied = false;
     final_alloc = q;
@@ -109,6 +111,7 @@ let explain_algorithm2 ~mu (a : Task.analyzed) =
   {
     p_star;
     beta_budget = Mu.delta mu;
+    step1_bound = Mu.delta mu *. a.Task.t_min;
     cap;
     cap_applied = final_alloc < p_star;
     final_alloc;
@@ -120,6 +123,7 @@ let explain_no_cap ~mu (a : Task.analyzed) =
   {
     p_star;
     beta_budget = Mu.delta mu;
+    step1_bound = Mu.delta mu *. a.Task.t_min;
     cap = a.Task.p;
     cap_applied = false;
     final_alloc = p_star;

@@ -23,6 +23,11 @@ type decision = {
   p_star : int;          (** Step-1 initial allocation. *)
   beta_budget : float;   (** [delta(mu)], the bound on [beta] Step 1 enforces;
                              [nan] for rules with no feasibility budget. *)
+  step1_bound : float;   (** The absolute feasibility threshold
+                             [delta(mu) * t_min] Step 1 compares execution
+                             times against — the exact decision input the
+                             shadow oracle re-derives; [nan] for rules with
+                             no feasibility budget. *)
   cap : int;             (** Step-2 ceiling [ceil(mu P)]; [P] when the rule
                              has no cap. *)
   cap_applied : bool;    (** Whether the cap reduced [p_star]. *)

@@ -27,10 +27,8 @@ let cap ~mu ~p =
   if p < 1 then invalid_arg "Mu.cap: p must be >= 1";
   (* ceil(mu * P) of Algorithm 2, step 2.  The product is computed in floats,
      so a mathematically integral mu * P can land an ulp above its integer
-     value and inflate the cap by one whole processor; shaving a relative
-     epsilon before rounding keeps exact multiples exact.  Non-integral
-     products are unaffected: they sit at least 1/P above the next integer
-     for rational mu, far beyond the epsilon. *)
-  let x = mu *. float_of_int p in
-  let eps = Moldable_util.Fcmp.default_eps in
-  max 1 (int_of_float (ceil (x -. (eps *. Float.max 1. (Float.abs x)))))
+     value and inflate the cap by one whole processor; the guarded ceil
+     shaves a relative epsilon before rounding so exact multiples stay
+     exact.  Non-integral products are unaffected: they sit at least 1/P
+     above the next integer for rational mu, far beyond the epsilon. *)
+  max 1 (Moldable_util.Numerics.iceil_guarded (mu *. float_of_int p))

@@ -1,0 +1,358 @@
+(* Sign-magnitude arbitrary-precision integers over 30-bit limbs.
+
+   The magnitude is little-endian in base 2^30 with no leading (high) zero
+   limbs; [sign] is -1, 0 or 1, and 0 iff the magnitude is empty.  Limb
+   products fit a 63-bit OCaml int with room for carries (2^60 + 2^31), so
+   schoolbook multiplication needs no intermediate boxing.  Division is
+   bitwise long division: the operands this library ever sees are exact
+   images of IEEE doubles and their low-degree combinations (a few hundred
+   bits), where the O(bits x limbs) loop is far below any measurable cost
+   and is obviously correct — the whole point of this module is to be the
+   trusted side of a differential oracle. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+let one = { sign = 1; mag = [| 1 |] }
+let two = { sign = 1; mag = [| 2 |] }
+
+(* ------------------------------------------------------------ magnitudes *)
+
+let mag_is_zero m = Array.length m = 0
+
+let norm_mag m =
+  let n = ref (Array.length m) in
+  while !n > 0 && m.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length m then m else Array.sub m 0 !n
+
+let compare_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let c = ref 0 in
+    let i = ref (la - 1) in
+    while !c = 0 && !i >= 0 do
+      c := compare a.(!i) b.(!i);
+      decr i
+    done;
+    !c
+  end
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let l = max la lb in
+  let r = Array.make (l + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  r.(l) <- !carry;
+  norm_mag r
+
+(* Requires [a >= b]. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  norm_mag r
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let cur = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- cur land mask;
+        carry := cur lsr base_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    norm_mag r
+  end
+
+let bit_length_mag m =
+  let l = Array.length m in
+  if l = 0 then 0
+  else begin
+    let top = m.(l - 1) in
+    let bits = ref 0 and x = ref top in
+    while !x > 0 do
+      incr bits;
+      x := !x lsr 1
+    done;
+    ((l - 1) * base_bits) + !bits
+  end
+
+let get_bit_mag m i =
+  let limb = i / base_bits and off = i mod base_bits in
+  if limb >= Array.length m then 0 else (m.(limb) lsr off) land 1
+
+let shift_left_mag m k =
+  if mag_is_zero m || k = 0 then m
+  else begin
+    let limbs = k / base_bits and off = k mod base_bits in
+    let l = Array.length m in
+    let r = Array.make (l + limbs + 1) 0 in
+    for i = 0 to l - 1 do
+      let v = m.(i) lsl off in
+      r.(i + limbs) <- r.(i + limbs) lor (v land mask);
+      if off > 0 then r.(i + limbs + 1) <- v lsr base_bits
+    done;
+    norm_mag r
+  end
+
+let shift_right_mag m k =
+  if mag_is_zero m || k = 0 then m
+  else begin
+    let limbs = k / base_bits and off = k mod base_bits in
+    let l = Array.length m in
+    if limbs >= l then [||]
+    else begin
+      let r = Array.make (l - limbs) 0 in
+      for i = 0 to l - limbs - 1 do
+        let lo = m.(i + limbs) lsr off in
+        let hi =
+          if off > 0 && i + limbs + 1 < l then
+            (m.(i + limbs + 1) lsl (base_bits - off)) land mask
+          else 0
+        in
+        r.(i) <- lo lor hi
+      done;
+      norm_mag r
+    end
+  end
+
+(* Bitwise restoring long division of magnitudes; [b] must be non-zero.
+   Returns (quotient, remainder). *)
+let divmod_mag a b =
+  if mag_is_zero b then raise Division_by_zero;
+  if compare_mag a b < 0 then ([||], a)
+  else begin
+    let bits = bit_length_mag a in
+    let q = Array.make (Array.length a) 0 in
+    let r = ref [||] in
+    for i = bits - 1 downto 0 do
+      r := shift_left_mag !r 1;
+      if get_bit_mag a i = 1 then
+        r := if mag_is_zero !r then [| 1 |] else (let m = Array.copy !r in m.(0) <- m.(0) lor 1; m);
+      if compare_mag !r b >= 0 then begin
+        r := sub_mag !r b;
+        q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+      end
+    done;
+    (norm_mag q, !r)
+  end
+
+(* -------------------------------------------------------------- signed t *)
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    (* Decompose via truncating div/mod so that min_int needs no abs. *)
+    let rec limbs n acc =
+      if n = 0 then List.rev acc
+      else limbs (n / base) (abs (n mod base) :: acc)
+    in
+    { sign; mag = norm_mag (Array.of_list (limbs n [])) }
+  end
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+let equal a b = a.sign = b.sign && a.mag = b.mag
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then compare_mag a.mag b.mag
+  else compare_mag b.mag a.mag
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then { sign = a.sign; mag = add_mag a.mag b.mag }
+  else begin
+    let c = compare_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then { sign = a.sign; mag = sub_mag a.mag b.mag }
+    else { sign = b.sign; mag = sub_mag b.mag a.mag }
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else { sign = a.sign * b.sign; mag = mul_mag a.mag b.mag }
+
+(* Truncated toward zero, like OCaml's [/] and [mod]: the remainder carries
+   the dividend's sign and [a = q*b + r] with [|r| < |b|]. *)
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let q, r = divmod_mag a.mag b.mag in
+  let q = if mag_is_zero q then zero else { sign = a.sign * b.sign; mag = q } in
+  let r = if mag_is_zero r then zero else { sign = a.sign; mag = r } in
+  (q, r)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let shift_left t k =
+  if k < 0 then invalid_arg "Bigint.shift_left: negative shift";
+  if t.sign = 0 then t else { t with mag = shift_left_mag t.mag k }
+
+let shift_right t k =
+  if k < 0 then invalid_arg "Bigint.shift_right: negative shift";
+  if t.sign = 0 then t
+  else begin
+    let m = shift_right_mag t.mag k in
+    if mag_is_zero m then zero else { t with mag = m }
+  end
+
+let bit_length t = bit_length_mag t.mag
+
+let is_even t =
+  t.sign = 0 || t.mag.(0) land 1 = 0
+
+(* Binary GCD on magnitudes: only halving, subtraction and comparison, so
+   no long division on the hot normalization path. *)
+let gcd a b =
+  let a = ref (abs a) and b = ref (abs b) in
+  if is_zero !a then !b
+  else if is_zero !b then !a
+  else begin
+    let shift = ref 0 in
+    while is_even !a && is_even !b do
+      a := shift_right !a 1;
+      b := shift_right !b 1;
+      incr shift
+    done;
+    while is_even !a do
+      a := shift_right !a 1
+    done;
+    (* Invariant: a odd. *)
+    let continue = ref true in
+    while !continue do
+      while is_even !b do
+        b := shift_right !b 1
+      done;
+      let c = compare_mag (!a).mag (!b).mag in
+      if c = 0 then continue := false
+      else begin
+        if c > 0 then begin
+          let t = !a in
+          a := !b;
+          b := t
+        end;
+        b := { sign = 1; mag = sub_mag (!b).mag (!a).mag }
+      end
+    done;
+    shift_left !a !shift
+  end
+
+let pow t k =
+  if k < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let r = ref one and b = ref t and k = ref k in
+  while !k > 0 do
+    if !k land 1 = 1 then r := mul !r !b;
+    b := mul !b !b;
+    k := !k asr 1
+  done;
+  !r
+
+(* Integer square root (floor) of a non-negative value, by Newton's method
+   with an over-estimating power-of-two seed; terminates because the
+   iteration is strictly decreasing above the root. *)
+let isqrt t =
+  if t.sign < 0 then invalid_arg "Bigint.isqrt: negative argument";
+  if t.sign = 0 then zero
+  else begin
+    let x = ref (shift_left one ((bit_length t + 1) / 2)) in
+    let continue = ref true in
+    while !continue do
+      let y = shift_right (add !x (div t !x)) 1 in
+      if compare y !x >= 0 then continue := false else x := y
+    done;
+    !x
+  end
+
+let to_int_opt t =
+  (* At most 3 limbs (<= 90 bits) can still fit 63-bit int range; fold and
+     detect overflow by width first. *)
+  if bit_length t > 62 then None
+  else begin
+    let v = ref 0 in
+    for i = Array.length t.mag - 1 downto 0 do
+      v := (!v lsl base_bits) lor t.mag.(i)
+    done;
+    Some (if t.sign < 0 then - !v else !v)
+  end
+
+let to_float t =
+  (* Keep the top 62 bits exactly and scale; one extra float rounding at
+     most, which is fine for the reporting paths this feeds. *)
+  let bits = bit_length t in
+  if bits = 0 then 0.
+  else begin
+    let drop = max 0 (bits - 62) in
+    let top = shift_right (abs t) drop in
+    let m = match to_int_opt top with Some m -> m | None -> assert false in
+    let v = Float.ldexp (float_of_int m) drop in
+    if t.sign < 0 then -.v else v
+  end
+
+(* Decimal via repeated division by 10^9 (one limb's worth of digits). *)
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let chunks = ref [] in
+    let m = ref t.mag in
+    while not (mag_is_zero !m) do
+      let q = Array.make (Array.length !m) 0 in
+      let r = ref 0 in
+      for i = Array.length !m - 1 downto 0 do
+        let cur = (!r lsl base_bits) lor !m.(i) in
+        q.(i) <- cur / 1_000_000_000;
+        r := cur mod 1_000_000_000
+      done;
+      chunks := !r :: !chunks;
+      m := norm_mag q
+    done;
+    let b = Buffer.create 32 in
+    if t.sign < 0 then Buffer.add_char b '-';
+    (match !chunks with
+    | [] -> assert false
+    | first :: rest ->
+      Buffer.add_string b (string_of_int first);
+      List.iter (fun c -> Buffer.add_string b (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents b
+  end
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

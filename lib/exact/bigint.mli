@@ -1,0 +1,70 @@
+(** Dependency-free sign-magnitude arbitrary-precision integers (30-bit
+    limbs, schoolbook arithmetic, bitwise long division).
+
+    This is the trusted numeric bottom of the exact oracle: every operation
+    is implemented in the most obviously-correct way available, because the
+    whole library exists to adjudicate disagreements with the fast IEEE
+    float pipeline.  Operand sizes in this repository are exact images of
+    doubles and their low-degree combinations — a few hundred bits — so the
+    asymptotically naive algorithms are more than fast enough. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** Exact, including [min_int]. *)
+
+val to_int_opt : t -> int option
+(** [None] when the value does not fit a 63-bit OCaml [int]. *)
+
+val to_float : t -> float
+(** Nearest-ish double (one rounding of the top 62 bits); [infinity] beyond
+    the double range.  For reporting only — never used in comparisons. *)
+
+val to_string : t -> string
+(** Decimal representation. *)
+
+val pp : Format.formatter -> t -> unit
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val is_even : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** Truncated toward zero (like [/] and [mod] on [int]): [a = q*b + r] with
+    [|r| < |b|] and [r] carrying [a]'s sign.
+    @raise Division_by_zero when the divisor is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Arithmetic on the magnitude (toward zero for negatives).
+    @raise Invalid_argument on negative shift counts. *)
+
+val bit_length : t -> int
+(** Bits of the magnitude; [0] for zero. *)
+
+val gcd : t -> t -> t
+(** Non-negative; binary GCD (no division). *)
+
+val pow : t -> int -> t
+(** @raise Invalid_argument on negative exponents. *)
+
+val isqrt : t -> t
+(** Floor of the square root.
+    @raise Invalid_argument on negative arguments. *)

@@ -1,0 +1,61 @@
+(** Exact re-implementation of Algorithm 2 and the Lemma 2 lower bound.
+
+    Everything here evaluates the float pipeline's {e tolerant
+    specification} — the [Fcmp]-style comparisons at a rational [eps] —
+    in exact arithmetic, so a disagreement with the float path is a genuine
+    float-arithmetic effect and not a modelling difference.  [mu] and all
+    model parameters are exact rational images of the floats the pipeline
+    stores. *)
+
+open Moldable_model
+open Moldable_graph
+
+type analyzed = {
+  task : Task.t;
+  p : int;
+  p_max : int;
+  t_min : Rat.t;
+  a_min : Rat.t;
+  exactness : Exact_speedup.exactness;
+}
+
+val analyze : ?eps:Rat.t -> p:int -> Task.t -> analyzed
+(** Exact mirror of {!Task.analyze}: closed-form [p_max]/[t_min]/[a_min]
+    where available, the fused scan for arbitrary speedups. *)
+
+val delta : Rat.t -> Rat.t
+(** [(1 - 2 mu) / (mu (1 - mu))], exact.
+    @raise Invalid_argument unless [0 < mu < 1]. *)
+
+val cap : ?eps:Rat.t -> mu:Rat.t -> int -> int
+(** [cap ~mu p]: exact evaluation of the float path's cap spec ({!Mu.cap}):
+    [max 1 (ceil (mu p - eps * max 1 (mu p)))]. *)
+
+val cap_paper : mu:Rat.t -> int -> int
+(** The paper's literal [max 1 (ceil (mu P))], with the exact product. *)
+
+val step1 : ?eps:Rat.t -> analyzed -> bound:Rat.t -> int
+(** Step 1 of Algorithm 2 under the tolerant spec: the smallest
+    [q <= p_max] with [time q <=_eps bound] for monotonic models, the
+    smallest-area feasible allocation for non-monotonic arbitrary ones. *)
+
+type decision = {
+  p_star : int;       (** Step-1 allocation. *)
+  bound : Rat.t;      (** [delta mu * t_min], exact. *)
+  dcap : int;         (** {!cap} at this platform size. *)
+  dcap_paper : int;   (** {!cap_paper} at this platform size. *)
+  final_alloc : int;  (** [min p_star dcap]. *)
+}
+
+val decide : ?eps:Rat.t -> mu:Rat.t -> analyzed -> decision
+
+type bounds = {
+  a_min_total : Rat.t;
+  c_min : Rat.t;
+  lower_bound : Rat.t;  (** [max (a_min_total / p) c_min], Lemma 2. *)
+}
+
+val lower_bound : ?eps:Rat.t -> p:int -> Dag.t -> bounds
+(** Exact Lemma 2 bound: the minimal total area over [p] and the weighted
+    longest path of minimal execution times (own Kahn traversal — no float
+    anywhere on the path). *)

@@ -1,0 +1,83 @@
+open Moldable_model
+
+type exactness = Closed_form | Float_image
+
+let default_eps = Rat.of_float Moldable_util.Fcmp.default_eps
+
+let exactness m =
+  match Speedup.kind m with
+  | Speedup.Kind_roofline | Speedup.Kind_communication | Speedup.Kind_amdahl
+  | Speedup.Kind_general ->
+    Closed_form
+  | Speedup.Kind_power | Speedup.Kind_arbitrary -> Float_image
+
+let time m p =
+  if p < 1 then invalid_arg "Exact_speedup.time: p must be >= 1";
+  match m with
+  | Speedup.Roofline { w; ptilde } ->
+    Rat.div (Rat.of_float w) (Rat.of_int (min p ptilde))
+  | Speedup.Communication { w; c } ->
+    Rat.add
+      (Rat.div (Rat.of_float w) (Rat.of_int p))
+      (Rat.mul (Rat.of_float c) (Rat.of_int (p - 1)))
+  | Speedup.Amdahl { w; d } ->
+    Rat.add (Rat.div (Rat.of_float w) (Rat.of_int p)) (Rat.of_float d)
+  | Speedup.General { w; ptilde; d; c } ->
+    Rat.add
+      (Rat.add
+         (Rat.div (Rat.of_float w) (Rat.of_int (min p ptilde)))
+         (Rat.of_float d))
+      (Rat.mul (Rat.of_float c) (Rat.of_int (p - 1)))
+  | Speedup.Power _ | Speedup.Arbitrary _ ->
+    (* Irrational / opaque execution times: the exact value is the rational
+       image of the float evaluation (Float_image). *)
+    Rat.of_float (Speedup.time m p)
+
+let area m p = Rat.mul (Rat.of_int p) (time m p)
+
+(* Exact Equation (5).  [x = w/c = s^2] with [s] the continuous optimum;
+   [floor s = isqrt (floor x)] (both sides integer, and k <= s < k+1 iff
+   k^2 <= x < (k+1)^2), which needs no real square root. *)
+let pbar ?(eps = default_eps) ~w ~c ~p m =
+  let x = Rat.div w c in
+  let p2 = Rat.mul (Rat.of_int p) (Rat.of_int p) in
+  if Rat.compare x Rat.one <= 0 then 1
+  else if Rat.compare x p2 >= 0 then p
+  else begin
+    let fl =
+      match Bigint.to_int_opt (Bigint.isqrt (Rat.floor x)) with
+      | Some v -> v
+      | None -> assert false (* x < p^2 and p is an int *)
+    in
+    let lo = max 1 fl in
+    let exact_square = Rat.equal x (Rat.of_bigint (Bigint.mul (Bigint.of_int fl) (Bigint.of_int fl))) in
+    let hi = if exact_square then lo else min p (lo + 1) in
+    if Rat.leq ~eps (time m lo) (time m hi) then lo else hi
+  end
+
+let p_max ?(eps = default_eps) ~p m =
+  if p < 1 then invalid_arg "Exact_speedup.p_max: p must be >= 1";
+  match m with
+  | Speedup.Roofline { ptilde; _ } -> min p ptilde
+  | Speedup.Communication { w; c } ->
+    min p (pbar ~eps ~w:(Rat.of_float w) ~c:(Rat.of_float c) ~p m)
+  | Speedup.Amdahl _ -> p
+  | Speedup.General { w; ptilde; c; _ } ->
+    if c > 0. then
+      min p
+        (min ptilde (pbar ~eps ~w:(Rat.of_float w) ~c:(Rat.of_float c) ~p m))
+    else min p ptilde
+  | Speedup.Power _ -> p
+  | Speedup.Arbitrary _ ->
+    (* Mirror of the fused scan in Task.analyze: strict improvement only,
+       ties to the smallest allocation.  On float images the verdicts are
+       identical to the float scan's by construction. *)
+    let best = ref 1 and best_t = ref (time m 1) in
+    for q = 2 to p do
+      let t = time m q in
+      if Rat.compare t !best_t < 0 then begin
+        best := q;
+        best_t := t
+      end
+    done;
+    !best

@@ -1,0 +1,157 @@
+(* Exact rationals over Bigint with lazy reduction.
+
+   Invariants: [den] is always positive and the sign lives in [num]; common
+   powers of two are stripped eagerly (IEEE images are dyadic, so this alone
+   keeps most oracle arithmetic small); a full gcd reduction is deferred
+   until the denominator passes [reduce_threshold_bits].  Accessors that
+   expose num/den reduce fully first, so observable behaviour is always that
+   of the canonical form. *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let reduce_threshold_bits = 256
+
+let trailing_zeros b =
+  if Bigint.is_zero b then 0
+  else begin
+    let n = ref 0 in
+    let x = ref b in
+    while Bigint.is_even !x do
+      x := Bigint.shift_right !x 1;
+      incr n
+    done;
+    !n
+  end
+
+let strip_twos num den =
+  if Bigint.is_zero num then (num, Bigint.one)
+  else begin
+    let k = min (trailing_zeros num) (trailing_zeros den) in
+    if k = 0 then (num, den)
+    else (Bigint.shift_right num k, Bigint.shift_right den k)
+  end
+
+let reduce_full num den =
+  if Bigint.is_zero num then (num, Bigint.one)
+  else begin
+    let g = Bigint.gcd num den in
+    if Bigint.equal g Bigint.one then (num, den)
+    else (Bigint.div num g, Bigint.div den g)
+  end
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  let num, den =
+    if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den)
+    else (num, den)
+  in
+  let num, den = strip_twos num den in
+  let num, den =
+    if Bigint.bit_length den > reduce_threshold_bits then reduce_full num den
+    else (num, den)
+  in
+  { num; den }
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+
+let of_float x =
+  if not (Float.is_finite x) then
+    invalid_arg "Rat.of_float: not a finite float";
+  if x = 0. then zero
+  else begin
+    let frac, e = Float.frexp x in
+    (* frac in [0.5, 1); frac * 2^53 is an exact integer <= 2^53. *)
+    let m = Int64.to_int (Int64.of_float (Float.ldexp frac 53)) in
+    let e = e - 53 in
+    if e >= 0 then of_bigint (Bigint.shift_left (Bigint.of_int m) e)
+    else make (Bigint.of_int m) (Bigint.shift_left Bigint.one (-e))
+  end
+
+let canonical t =
+  let num, den = reduce_full t.num t.den in
+  { num; den }
+
+let num t = (canonical t).num
+let den t = (canonical t).den
+
+let sign t = Bigint.sign t.num
+let is_zero t = Bigint.is_zero t.num
+
+let neg t = { t with num = Bigint.neg t.num }
+let abs t = { t with num = Bigint.abs t.num }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let div a b =
+  if Bigint.is_zero b.num then raise Division_by_zero;
+  make (Bigint.mul a.num b.den) (Bigint.mul a.den b.num)
+
+let inv t = div one t
+
+let compare a b =
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+(* Floor division from truncated divmod: correct the quotient down by one
+   when the remainder is non-zero and the value is negative. *)
+let floor t =
+  let q, r = Bigint.divmod t.num t.den in
+  if Bigint.is_zero r || Bigint.sign t.num >= 0 then q
+  else Bigint.sub q Bigint.one
+
+let ceil t =
+  let q, r = Bigint.divmod t.num t.den in
+  if Bigint.is_zero r || Bigint.sign t.num <= 0 then q
+  else Bigint.add q Bigint.one
+
+let is_integer t = Bigint.is_zero (Bigint.rem t.num t.den)
+
+let to_int_exn name b =
+  match Bigint.to_int_opt b with
+  | Some n -> n
+  | None -> invalid_arg (name ^ ": result exceeds int range")
+
+let floor_int t = to_int_exn "Rat.floor_int" (floor t)
+let ceil_int t = to_int_exn "Rat.ceil_int" (ceil t)
+
+let to_float t =
+  if is_zero t then 0.
+  else begin
+    (* Scale the quotient so the integer division keeps >= 63 significant
+       bits, then undo the scaling in the exponent: one float rounding. *)
+    let shift = 63 + Bigint.bit_length t.den - Bigint.bit_length t.num in
+    let shift = Stdlib.max 0 shift in
+    let q = Bigint.div (Bigint.shift_left t.num shift) t.den in
+    Float.ldexp (Bigint.to_float q) (-shift)
+  end
+
+let to_string t =
+  let t = canonical t in
+  if Bigint.equal t.den Bigint.one then Bigint.to_string t.num
+  else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* Exact mirror of Fcmp: |a-b| <= eps * max 1 (max |a| |b|). *)
+let approx ~eps a b =
+  let scale = max one (max (abs a) (abs b)) in
+  compare (abs (sub a b)) (mul eps scale) <= 0
+
+let leq ~eps a b = compare a b <= 0 || approx ~eps a b
+let geq ~eps a b = compare a b >= 0 || approx ~eps a b
+let lt ~eps a b = compare a b < 0 && not (approx ~eps a b)
+let gt ~eps a b = compare a b > 0 && not (approx ~eps a b)

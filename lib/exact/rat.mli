@@ -1,0 +1,81 @@
+(** Exact rational arithmetic over {!Bigint}, plus exact mirrors of the
+    float pipeline's tolerant comparisons ({!Moldable_util.Fcmp}).
+
+    Values are kept lightly reduced: common powers of two are always
+    stripped (cheap, and exactly what repeated IEEE images accumulate), and
+    a full gcd reduction runs only once the denominator grows past a size
+    threshold.  All observable behaviour is that of the fully reduced
+    rational. *)
+
+type t
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+val of_ints : int -> int -> t
+(** [of_ints n d] is n/d. @raise Division_by_zero when [d = 0]. *)
+
+val of_bigint : Bigint.t -> t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den]. @raise Division_by_zero when [den] is zero. *)
+
+val of_float : float -> t
+(** Exact image of a finite double ([m * 2^e] via [Float.frexp]).
+    @raise Invalid_argument on NaN or infinities. *)
+
+val num : t -> Bigint.t
+(** Numerator of the fully reduced form (carries the sign). *)
+
+val den : t -> Bigint.t
+(** Denominator of the fully reduced form (always positive). *)
+
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero on a zero divisor. *)
+
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val floor : t -> Bigint.t
+val ceil : t -> Bigint.t
+
+val floor_int : t -> int
+val ceil_int : t -> int
+(** @raise Invalid_argument when the result exceeds 62 bits. *)
+
+val to_float : t -> float
+(** Nearest-ish double (correct to ~1 ulp); for reporting only. *)
+
+val to_string : t -> string
+(** ["num/den"] in fully reduced form, or just ["num"] for integers. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Exact mirrors of [Fcmp]'s tolerant comparisons}
+
+    The float pipeline compares with relative tolerance
+    [|a - b| <= eps * max 1. (max |a| |b|)].  These evaluate the same
+    predicate in exact arithmetic at a rational [eps], so the oracle can
+    check the float code against its own tolerant specification rather
+    than against razor-edge equality. *)
+
+val approx : eps:t -> t -> t -> bool
+val leq : eps:t -> t -> t -> bool
+val geq : eps:t -> t -> t -> bool
+val lt : eps:t -> t -> t -> bool
+val gt : eps:t -> t -> t -> bool

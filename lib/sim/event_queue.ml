@@ -33,6 +33,8 @@ let pop t =
    stale free count.  The tolerance is relative and keyed off the batch's
    first (earliest) timestamp — far below any genuine event separation, far
    above accumulated rounding noise. *)
+(* Exposed so the exact shadow oracle (lib/exact) can replay the batching
+   decision with the very same tolerance. *)
 let batch_eps = 1e-12
 
 let pop_simultaneous t =

@@ -17,6 +17,11 @@ val next_time : 'a t -> float option
 
 val pop : 'a t -> (float * 'a) option
 
+val batch_eps : float
+(** The relative tolerance {!pop_simultaneous} batches under ([1e-12]).
+    Exposed so differential checkers can replay the batching decision with
+    the exact same constant. *)
+
 val pop_simultaneous : 'a t -> (float * 'a list) option
 (** Pops {e every} event whose time stamp equals the earliest one up to a
     relative epsilon of [1e-12] (keyed off the earliest stamp, so the batch

@@ -19,41 +19,72 @@ let golden_section_min ?(tol = 1e-12) ~f ~lo ~hi () =
   let b = lo +. (resphi *. (hi -. lo)) in
   loop lo b hi (f b)
 
+(* A non-finite sample (NaN from a pole or 0/0, or an infinity) must never
+   win the argmin: NaN in particular makes every [fx < best] comparison
+   false, which used to freeze the minimizer on its first sample. *)
 let grid_min ?(n = 10_000) ~f ~lo ~hi () =
   if n < 2 then invalid_arg "Numerics.grid_min: need at least 2 points";
-  let best_x = ref lo and best_f = ref (f lo) in
-  for i = 1 to n - 1 do
+  let best = ref None in
+  for i = 0 to n - 1 do
     let x = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)) in
     let fx = f x in
-    if fx < !best_f then begin
-      best_x := x;
-      best_f := fx
-    end
+    if Float.is_finite fx then
+      match !best with
+      | Some (_, bf) when bf <= fx -> ()
+      | _ -> best := Some (x, fx)
   done;
-  (!best_x, !best_f)
+  match !best with
+  | Some r -> r
+  | None -> invalid_arg "Numerics.grid_min: f has no finite value on the grid"
 
 let minimize ?(tol = 1e-12) ?(grid = 2_000) ~f ~lo ~hi () =
   let step = (hi -. lo) /. float_of_int grid in
-  let x0, _ = grid_min ~n:(grid + 1) ~f ~lo ~hi () in
+  let x0, f0 = grid_min ~n:(grid + 1) ~f ~lo ~hi () in
   let a = Float.max lo (x0 -. step) and c = Float.min hi (x0 +. step) in
-  golden_section_min ~tol ~f ~lo:a ~hi:c ()
+  (* Golden-section assumes it can compare every probe: map non-finite
+     samples to +inf so they lose, and keep the best grid point as a
+     fallback in case the refinement brackets a pole. *)
+  let f_safe x =
+    let fx = f x in
+    if Float.is_finite fx then fx else infinity
+  in
+  let x1, f1 = golden_section_min ~tol ~f:f_safe ~lo:a ~hi:c () in
+  if f1 <= f0 then (x1, f1) else (x0, f0)
 
 let bisect ?(tol = 1e-12) ~f ~lo ~hi () =
-  let fa = f lo and fb = f hi in
-  if fa = 0. then lo
-  else if fb = 0. then hi
-  else if (fa > 0.) = (fb > 0.) then
-    invalid_arg "Numerics.bisect: no sign change on interval"
+  (* Sign-based: a signed zero (-0. included) counts as a root, NaN is
+     rejected loudly, and the stopping rule is symmetric in |a| and |b| so
+     the bracket shrinks at the same relative rate whichever endpoint is
+     larger. *)
+  let sgn name x =
+    if Float.is_nan x then
+      invalid_arg (Printf.sprintf "Numerics.bisect: f %s is NaN" name)
+    else if x > 0. then 1
+    else if x < 0. then -1
+    else 0
+  in
+  let sa = sgn "lo" (f lo) in
+  if sa = 0 then lo
   else begin
-    let a = ref lo and b = ref hi and fa = ref fa in
-    while !b -. !a > tol *. (Float.abs !a +. 1.) do
-      let m = 0.5 *. (!a +. !b) in
-      let fm = f m in
-      if fm = 0. then begin a := m; b := m end
-      else if (fm > 0.) = (!fa > 0.) then begin a := m; fa := fm end
-      else b := m
-    done;
-    0.5 *. (!a +. !b)
+    let sb = sgn "hi" (f hi) in
+    if sb = 0 then hi
+    else if sa = sb then
+      invalid_arg "Numerics.bisect: no sign change on interval"
+    else begin
+      let rec loop a b =
+        if b -. a <= tol *. (Float.max (Float.abs a) (Float.abs b) +. 1.) then
+          0.5 *. (a +. b)
+        else begin
+          let m = 0.5 *. (a +. b) in
+          if m <= a || m >= b then 0.5 *. (a +. b)
+          else begin
+            let sm = sgn "mid" (f m) in
+            if sm = 0 then m else if sm = sa then loop m b else loop a m
+          end
+        end
+      in
+      loop lo hi
+    end
   end
 
 let integer_argmin ~f ~lo ~hi =
@@ -84,3 +115,30 @@ let harmonic n =
     acc := !acc +. (1. /. float_of_int i)
   done;
   !acc
+
+(* Exact integer log2, replacing [int_of_float (log x /. log 2.)] call
+   sites: the float quotient lands at 2.999999... for exact powers of two
+   and truncation then under-counts by one. *)
+let ilog2 n =
+  if n < 1 then invalid_arg "Numerics.ilog2: need n >= 1";
+  let l = ref 0 and x = ref n in
+  while !x > 1 do
+    incr l;
+    x := !x lsr 1
+  done;
+  !l
+
+(* Float-to-integer rounding with a relative guard band: a mathematically
+   integral product computed in floats can land an ulp on the wrong side of
+   its integer value, which plain floor/ceil then shifts by one whole unit.
+   Nudging by [eps * max 1 |x|] before rounding keeps exact values exact;
+   genuinely fractional inputs sit far beyond the guard. *)
+let ifloor_guarded ?(eps = Fcmp.default_eps) x =
+  if not (Float.is_finite x) then
+    invalid_arg "Numerics.ifloor_guarded: non-finite input";
+  int_of_float (floor (x +. (eps *. Float.max 1. (Float.abs x))))
+
+let iceil_guarded ?(eps = Fcmp.default_eps) x =
+  if not (Float.is_finite x) then
+    invalid_arg "Numerics.iceil_guarded: non-finite input";
+  int_of_float (ceil (x -. (eps *. Float.max 1. (Float.abs x))))

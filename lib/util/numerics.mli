@@ -14,19 +14,27 @@ val grid_min :
   ?n:int -> f:(float -> float) -> lo:float -> hi:float -> unit ->
   float * float
 (** Dense scan with [n] points (default 10_000); robust for non-unimodal
-    functions; returns the best sample. *)
+    functions; returns the best sample.  Non-finite samples (NaN poles,
+    infinities) are skipped.
+    @raise Invalid_argument if no grid point has a finite value. *)
 
 val minimize :
   ?tol:float -> ?grid:int -> f:(float -> float) -> lo:float -> hi:float ->
   unit -> float * float
 (** Grid scan to bracket the global minimum, then golden-section refinement
     inside the best bracket. Suitable for the piecewise-smooth ratio
-    functions of the paper. *)
+    functions of the paper.  Non-finite samples never win; the refinement
+    can only improve on the best finite grid point.
+    @raise Invalid_argument if no grid point has a finite value. *)
 
 val bisect :
   ?tol:float -> f:(float -> float) -> lo:float -> hi:float -> unit -> float
-(** Root of [f] on [\[lo, hi\]]; requires a sign change.
-    @raise Invalid_argument if [f lo] and [f hi] have the same sign. *)
+(** Root of [f] on [\[lo, hi\]]; requires a sign change.  Sign-based, so
+    signed zeros ([-0.] included) count as roots and denormal values keep
+    their sign; the stopping tolerance is relative and symmetric in [|a|]
+    and [|b|].
+    @raise Invalid_argument if [f lo] and [f hi] have the same sign, or if
+    [f] returns NaN at a probed point. *)
 
 val integer_argmin : f:(int -> float) -> lo:int -> hi:int -> int
 (** Exhaustive argmin of [f] over integers [\[lo, hi\]]; ties break to the
@@ -39,3 +47,21 @@ val integer_argmin_unimodal : f:(int -> float) -> lo:int -> hi:int -> int
 
 val harmonic : int -> float
 (** [harmonic n] is [sum_{i=1}^{n} 1/i]; [0.] for [n <= 0]. *)
+
+val ilog2 : int -> int
+(** Exact [floor (log2 n)] for [n >= 1], by bit shifting — no float
+    round-trip, so exact powers of two are never under-counted.
+    @raise Invalid_argument for [n < 1]. *)
+
+val ifloor_guarded : ?eps:float -> float -> int
+(** [floor] with a relative guard band (default {!Fcmp.default_eps}): an
+    input an ulp {e below} its mathematical integer value still floors to
+    that integer.  Genuinely fractional inputs are unaffected.
+    @raise Invalid_argument on non-finite input. *)
+
+val iceil_guarded : ?eps:float -> float -> int
+(** [ceil] with a relative guard band: an input an ulp {e above} its
+    mathematical integer value still ceils to that integer — the Step-2
+    [ceil (mu P)] rule of Algorithm 2 ({!section} PR-1's [Mu.cap] fix,
+    factored here for every [int_of_float] boundary site).
+    @raise Invalid_argument on non-finite input. *)

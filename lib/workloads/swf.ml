@@ -70,8 +70,11 @@ let synthetic ~rng ~n ~mean_interarrival ~max_procs =
       let procs =
         (* Power-of-two-leaning widths, as in real logs. *)
         if Rng.bernoulli rng 0.7 then begin
-          let max_log = int_of_float (log (float_of_int max_procs) /. log 2.) in
-          min max_procs (1 lsl Rng.int_range rng 0 (max 0 max_log))
+          (* Exact integer log2: the float-log quotient lands at 2.999...
+             for exact powers of two, and truncation then drops the widest
+             power from the distribution. *)
+          let max_log = Numerics.ilog2 max_procs in
+          min max_procs (1 lsl Rng.int_range rng 0 max_log)
         end
         else Rng.int_range rng 1 max_procs
       in

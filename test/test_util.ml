@@ -318,6 +318,100 @@ let test_bisect_no_sign_change () =
     (Invalid_argument "Numerics.bisect: no sign change on interval")
     (fun () -> ignore (Numerics.bisect ~f:(fun x -> x +. 10.) ~lo:0. ~hi:1. ()))
 
+(* Regression: the old bisect compared [f x = 0.] / [f lo *. f hi > 0.]
+   with float equality and products.  A function landing exactly on -0., or
+   returning denormals whose product underflows to 0., broke both tests.
+   The sign-based version must treat signed zeros as roots and keep
+   denormal signs. *)
+let test_bisect_signed_zero_root () =
+  Alcotest.(check (float 0.)) "-0. at lo is a root" 0.
+    (Numerics.bisect ~f:(fun x -> if x = 0. then -0. else x) ~lo:0. ~hi:1. ());
+  Alcotest.(check (float 0.)) "-0. at hi is a root" 1.
+    (Numerics.bisect
+       ~f:(fun x -> if x = 1. then -0. else x -. 2.)
+       ~lo:0. ~hi:1. ())
+
+let test_bisect_denormal_values () =
+  (* f only ever returns +-2^-1074: the product f lo *. f hi underflows to
+     -0., which the old same-sign test misread as "no sign change". *)
+  let tiny = Float.ldexp 1. (-1074) in
+  let f x = if x < 1. then -.tiny else tiny in
+  let r = Numerics.bisect ~f ~lo:0. ~hi:2. () in
+  Alcotest.(check (float 1e-9)) "denormal sign change bracketed" 1. r
+
+let test_bisect_rejects_nan () =
+  Alcotest.check_raises "NaN at lo"
+    (Invalid_argument "Numerics.bisect: f lo is NaN")
+    (fun () ->
+      ignore (Numerics.bisect ~f:(fun _ -> Float.nan) ~lo:0. ~hi:1. ()));
+  Alcotest.check_raises "NaN at a probed midpoint"
+    (Invalid_argument "Numerics.bisect: f mid is NaN")
+    (fun () ->
+      ignore
+        (Numerics.bisect
+           ~f:(fun x -> if x = 0. then -1. else if x = 1. then 1. else Float.nan)
+           ~lo:0. ~hi:1. ()))
+
+(* Regression: grid_min/minimize propagated NaN through [<] comparisons —
+   a single NaN sample (log of a negative ratio, 0/0 pole) poisoned the
+   running minimum and the final answer. *)
+let test_grid_min_skips_nan () =
+  let f x = if x < 1. then Float.nan else (x -. 2.) ** 2. in
+  let x, fx = Numerics.grid_min ~f ~lo:0. ~hi:4. () in
+  Alcotest.(check (float 1e-3)) "argmin past the NaN region" 2. x;
+  Alcotest.(check (float 1e-6)) "finite minimum" 0. fx;
+  Alcotest.check_raises "all-NaN grid"
+    (Invalid_argument "Numerics.grid_min: f has no finite value on the grid")
+    (fun () -> ignore (Numerics.grid_min ~f:(fun _ -> Float.nan) ~lo:0. ~hi:1. ()))
+
+let test_minimize_skips_nan () =
+  (* Pole at x = 1 (NaN) next to the true minimum at x = 2; the refinement
+     around the best grid point must not be derailed by the pole. *)
+  let f x = if Float.abs (x -. 1.) < 0.05 then 0. /. 0. else (x -. 2.) ** 2. in
+  let x, fx = Numerics.minimize ~f ~lo:0. ~hi:4. () in
+  Alcotest.(check (float 1e-3)) "minimum beside a NaN pole" 2. x;
+  Alcotest.(check bool) "result is finite" true (Float.is_finite fx)
+
+let test_ilog2 () =
+  Alcotest.check_raises "rejects 0" (Invalid_argument "Numerics.ilog2: need n >= 1")
+    (fun () -> ignore (Numerics.ilog2 0));
+  Alcotest.(check int) "1" 0 (Numerics.ilog2 1);
+  Alcotest.(check int) "max_int" 61 (Numerics.ilog2 max_int);
+  for k = 0 to 61 do
+    Alcotest.(check int)
+      (Printf.sprintf "2^%d" k)
+      k
+      (Numerics.ilog2 (1 lsl k));
+    if k >= 1 then
+      Alcotest.(check int)
+        (Printf.sprintf "2^%d - 1" k)
+        (k - 1)
+        (Numerics.ilog2 ((1 lsl k) - 1))
+  done
+
+let test_guarded_rounding () =
+  (* An ulp of drift around a mathematically integral product must not move
+     the rounded integer; genuinely fractional values are untouched. *)
+  let below3 = Float.pred 3. and above3 = Float.succ 3. in
+  Alcotest.(check int) "floor recovers integer from below" 3
+    (Numerics.ifloor_guarded below3);
+  Alcotest.(check int) "ceil recovers integer from above" 3
+    (Numerics.iceil_guarded above3);
+  Alcotest.(check int) "floor exact" 3 (Numerics.ifloor_guarded 3.);
+  Alcotest.(check int) "ceil exact" 3 (Numerics.iceil_guarded 3.);
+  Alcotest.(check int) "floor fractional" 2 (Numerics.ifloor_guarded 2.5);
+  Alcotest.(check int) "ceil fractional" 3 (Numerics.iceil_guarded 2.5);
+  Alcotest.(check int) "floor negative from below" (-3)
+    (Numerics.ifloor_guarded (Float.pred (-3.)));
+  Alcotest.(check int) "ceil negative from above" (-3)
+    (Numerics.iceil_guarded (Float.succ (-3.)));
+  Alcotest.check_raises "floor rejects nan"
+    (Invalid_argument "Numerics.ifloor_guarded: non-finite input")
+    (fun () -> ignore (Numerics.ifloor_guarded Float.nan));
+  Alcotest.check_raises "ceil rejects infinity"
+    (Invalid_argument "Numerics.iceil_guarded: non-finite input")
+    (fun () -> ignore (Numerics.iceil_guarded Float.infinity))
+
 let test_integer_argmin () =
   Alcotest.(check int) "parabola" 7
     (Numerics.integer_argmin ~f:(fun p -> float_of_int ((p - 7) * (p - 7)))
@@ -718,6 +812,15 @@ let () =
           Alcotest.test_case "bisect sqrt2" `Quick test_bisect_sqrt2;
           Alcotest.test_case "bisect no sign change" `Quick
             test_bisect_no_sign_change;
+          Alcotest.test_case "bisect signed-zero root" `Quick
+            test_bisect_signed_zero_root;
+          Alcotest.test_case "bisect denormal values" `Quick
+            test_bisect_denormal_values;
+          Alcotest.test_case "bisect rejects NaN" `Quick test_bisect_rejects_nan;
+          Alcotest.test_case "grid_min skips NaN" `Quick test_grid_min_skips_nan;
+          Alcotest.test_case "minimize skips NaN" `Quick test_minimize_skips_nan;
+          Alcotest.test_case "ilog2" `Quick test_ilog2;
+          Alcotest.test_case "guarded rounding" `Quick test_guarded_rounding;
           Alcotest.test_case "integer argmin" `Quick test_integer_argmin;
           Alcotest.test_case "integer argmin ties" `Quick test_integer_argmin_ties;
           Alcotest.test_case "argmin unimodal" `Quick test_integer_argmin_unimodal;

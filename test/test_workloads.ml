@@ -319,6 +319,29 @@ let test_swf_synthetic_shape () =
     jobs;
   Alcotest.(check bool) "arrivals sorted" true !sorted
 
+(* Regression: the power-of-two width draw used float log2, whose quotient
+   evaluates to 2.999... at exact powers of two; truncation then excluded
+   the full-machine width from the distribution entirely.  With the exact
+   integer log2 every power of two up to max_procs, including max_procs
+   itself, must be reachable. *)
+let test_swf_synthetic_full_width_reachable () =
+  List.iter
+    (fun exp ->
+      let max_procs = 1 lsl exp in
+      let rng = Rng.create (97 + exp) in
+      let jobs =
+        Swf.synthetic ~rng ~n:2000 ~mean_interarrival:1. ~max_procs
+      in
+      let hit_full = List.exists (fun j -> j.Swf.procs = max_procs) jobs in
+      let in_range = List.for_all (fun j -> j.Swf.procs <= max_procs) jobs in
+      Alcotest.(check bool)
+        (Printf.sprintf "width max_procs=2^%d reachable" exp)
+        true hit_full;
+      Alcotest.(check bool)
+        (Printf.sprintf "widths bounded at 2^%d" exp)
+        true in_range)
+    [ 1; 2; 3; 6; 10; 16; 20 ]
+
 let test_swf_to_workload_roofline () =
   let rng = Rng.create 32 in
   let jobs = Swf.synthetic ~rng ~n:10 ~mean_interarrival:5. ~max_procs:32 in
@@ -435,6 +458,8 @@ let () =
           Alcotest.test_case "rejects garbage" `Quick test_swf_rejects_garbage;
           Alcotest.test_case "roundtrip" `Quick test_swf_roundtrip;
           Alcotest.test_case "synthetic shape" `Quick test_swf_synthetic_shape;
+          Alcotest.test_case "synthetic full width reachable" `Quick
+            test_swf_synthetic_full_width_reachable;
           Alcotest.test_case "to_workload roofline" `Quick
             test_swf_to_workload_roofline;
           Alcotest.test_case "amdahl observed point" `Quick
