@@ -1565,6 +1565,110 @@ let exact_oracle pool () =
        tolerances).\n"
       (List.length cells) checks explained
 
+(* -------------------------------- Original vs improved online algorithm *)
+
+(* Side-by-side accounting of the two online algorithms: the proven-bound
+   table (recomputed ICPP 2022 vs transcribed Perotin-Sun 2023 constants)
+   and measured [T / LB] ratios on the adversarial constructions plus
+   random workloads per speedup family.  Instance generation precedes the
+   fan-out and every (instance -> two runs) cell is a pure function of its
+   DAG, so the comparison artifact is byte-identical at any job count. *)
+
+let improved_ratio pool () =
+  section
+    "Improved online algorithm (Perotin & Sun 2023) — proven bounds and \
+     measured original-vs-improved ratios on adversarial and random \
+     instances";
+  assert (Improved_bounds.coherent ());
+  let tab =
+    Texttab.create
+      ~headers:
+        [ "model"; "mu"; "rho"; "original bound"; "improved bound"; "paper" ]
+  in
+  List.iter
+    (fun (r : Improved_bounds.row) ->
+      Texttab.add_row tab
+        [
+          Model_bounds.family_name r.Improved_bounds.family;
+          Printf.sprintf "%.4f" r.Improved_bounds.mu;
+          Printf.sprintf "%.4f" r.Improved_bounds.rho;
+          Printf.sprintf "%.4f" r.Improved_bounds.original;
+          Printf.sprintf "%.4f" r.Improved_bounds.improved;
+          Printf.sprintf "%.2f" r.Improved_bounds.paper_improved;
+        ])
+    (Improved_bounds.table ());
+  Texttab.print tab;
+  print_newline ();
+  let rng = Rng.create 27_182 in
+  let random_specs =
+    List.concat_map
+      (fun kind ->
+        List.init 8 (fun _ ->
+            ( "random/" ^ Speedup.kind_name kind,
+              64,
+              Moldable_workloads.Random_dag.layered ~rng ~n_layers:6 ~width:8
+                ~edge_prob:0.25 ~kind () )))
+      [ Speedup.Kind_roofline; Speedup.Kind_communication;
+        Speedup.Kind_amdahl; Speedup.Kind_general ]
+  in
+  let adversarial_specs =
+    (* Named per instance: the Figure-1 constructions mix speedup families
+       (sequential gadget tasks), so grouping by detected model alone would
+       merge them into one "arbitrary" row. *)
+    List.map
+      (fun (inst : Instances.t) ->
+        (inst.Instances.name, inst.Instances.p, inst.Instances.dag))
+      [ Instances.roofline ~p:128; Instances.communication ~p:128;
+        Instances.amdahl ~k:12; Instances.general ~k:12 ]
+  in
+  let specs = adversarial_specs @ random_specs in
+  let cells, _ =
+    compare_seq_par ~name:"improved_ratio"
+      ~cells:(List.length specs)
+      ~equal:(fun a b -> a = b)
+      pool
+      (fun pool ->
+        Pool.map_list ~chunk:1 pool
+          (fun (workload, p, dag) ->
+            let kind = Ratio_report.kind_of_dag dag in
+            let m_orig = Online_scheduler.makespan ~p dag in
+            let m_impr =
+              Schedule.makespan
+                (Online_scheduler.run_improved ~p dag).Engine.schedule
+            in
+            let eo =
+              Ratio_report.of_run ~model:kind ~workload ~p ~makespan:m_orig
+                dag
+            in
+            let ei =
+              Ratio_report.of_run ~model:kind
+                ~proven_bound:(Ratio_report.improved_upper_bound kind)
+                ~workload ~p ~makespan:m_impr dag
+            in
+            (eo, ei))
+          specs)
+  in
+  print_newline ();
+  let original = List.map fst cells and improved = List.map snd cells in
+  let comparisons = Ratio_report.compare_runs ~original ~improved in
+  print_string (Ratio_report.comparison_table comparisons);
+  write_artifact "improved_ratio.json"
+    (Ratio_report.comparison_to_json comparisons);
+  if
+    not
+      (List.for_all (fun c -> c.Ratio_report.c_all_within) comparisons)
+  then begin
+    Printf.printf
+      "\nACCEPTANCE FAILED: a measured worst ratio exceeds its proven \
+       competitive ratio — see improved_ratio.json\n";
+    exit 1
+  end
+  else
+    Printf.printf
+      "\nAcceptance: every measured worst ratio sits under its own proven \
+       bound across %d instances.\n"
+      (List.length specs)
+
 (* ------------------------------------------------ Bechamel micro-benchmarks *)
 
 let micro_benchmarks () =
@@ -1726,6 +1830,7 @@ let () =
       timed "scalability_hot_path" (scalability_hot_path pool);
       timed "parallel_sweep" (parallel_sweep pool);
       timed "exact_oracle" (exact_oracle pool);
+      timed "improved_ratio" (improved_ratio pool);
       timed "micro_benchmarks" micro_benchmarks);
   write_artifact "BENCH_scaling.json" (scaling_json ());
   Printf.printf "\nAll sections completed.\n"

@@ -63,10 +63,35 @@ let jobs_arg =
 
 let with_jobs jobs f =
   if jobs < 1 then begin
-    Printf.eprintf "--jobs must be >= 1\n";
-    exit 1
+    Printf.eprintf
+      "moldable: option '--jobs': value must be >= 1 (got %d)\nUsage: pass a \
+       positive worker-domain count, e.g. --jobs 2\n"
+      jobs;
+    exit 2
   end;
   Pool.with_pool ~jobs f
+
+let algorithm_conv =
+  Arg.enum [ ("original", `Original); ("improved", `Improved) ]
+
+let algorithm_arg =
+  Arg.(
+    value
+    & opt algorithm_conv `Original
+    & info [ "a"; "algorithm" ] ~docv:"ALGO"
+        ~doc:
+          "Online algorithm: $(b,original) (ICPP 2022 Algorithm 1 with \
+           per-model mu) or $(b,improved) (Perotin-Sun 2023 with decoupled \
+           per-model (mu, rho)).")
+
+let allocator_of = function
+  | `Original -> Allocator.algorithm2_per_model
+  | `Improved -> Improved_alloc.per_model
+
+let proven_bound_of algo kind =
+  match algo with
+  | `Original -> Ratio_report.table1_upper_bound kind
+  | `Improved -> Ratio_report.improved_upper_bound kind
 
 let workload_conv =
   Arg.enum
@@ -215,7 +240,8 @@ let theorem9_cmd =
 (* -------------------------------------------------------------- simulate *)
 
 let simulate_cmd =
-  let run kind p seed workload n gantt svg load save swf metrics_out jobs =
+  let run kind p seed workload n gantt svg load save swf metrics_out algo jobs
+      =
     with_jobs jobs @@ fun pool ->
     let rng = Rng.create seed in
     let dag, releases =
@@ -231,7 +257,11 @@ let simulate_cmd =
           exit 1)
       | None, Some path -> (
         match Moldable_workloads.Swf.parse_file path with
-        | Ok jobs when jobs <> [] ->
+        | Ok { Moldable_workloads.Swf.jobs; skipped_lines }
+          when jobs <> [] ->
+          if skipped_lines > 0 then
+            Printf.printf "note: skipped %d unusable record(s) in %s\n"
+              skipped_lines path;
           let dag, rel = Moldable_workloads.Swf.to_workload ~rng jobs in
           (dag, Some rel)
         | Ok _ ->
@@ -252,8 +282,7 @@ let simulate_cmd =
         exit 1));
     let result =
       Engine.run ?release_times:releases ~p
-        (Online_scheduler.policy
-           ~allocator:Allocator.algorithm2_per_model ~p ())
+        (Online_scheduler.policy ~allocator:(allocator_of algo) ~p ())
         dag
     in
     Validate.check_exn ~pool ~dag result.Engine.schedule;
@@ -332,16 +361,18 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate"
-       ~doc:"Generate (or load) a workload, run Algorithm 1 on it and report.")
+       ~doc:
+         "Generate (or load) a workload, run the selected online algorithm \
+          on it and report.")
     Term.(
       const run $ kind_arg $ p_arg 64 $ seed_arg $ workload_arg $ size_arg
       $ gantt_arg $ svg_arg $ load_arg $ save_arg $ swf_arg $ metrics_arg
-      $ jobs_arg)
+      $ algorithm_arg $ jobs_arg)
 
 (* ----------------------------------------------------------------- trace *)
 
 let trace_cmd =
-  let run kind p seed workload n load chrome gantt explain jobs =
+  let run kind p seed workload n load chrome gantt explain algo jobs =
     with_jobs jobs @@ fun pool ->
     let rng = Rng.create seed in
     let dag, workload_name =
@@ -366,14 +397,19 @@ let trace_cmd =
     in
     let label i = (Dag.task dag i).Task.label in
     let tracer = Moldable_sim.Tracer.create () in
-    let result = Online_scheduler.run_instrumented ~tracer ~p dag in
+    let result =
+      Online_scheduler.run_instrumented ~allocator:(allocator_of algo) ~tracer
+        ~p dag
+    in
     Validate.check_exn ~pool ~dag result.Sim_core.schedule;
     let makespan = Schedule.makespan result.Sim_core.schedule in
     Printf.printf "%s\n" (Format.asprintf "%a" Dag.pp_stats dag);
     Printf.printf "%s\n"
       (Format.asprintf "%a" Moldable_sim.Metrics.pp result.Sim_core.metrics);
     let entry =
-      Ratio_report.of_run ~workload:workload_name ~p ~makespan dag
+      Ratio_report.of_run
+        ~proven_bound:(proven_bound_of algo (Ratio_report.kind_of_dag dag))
+        ~workload:workload_name ~p ~makespan dag
     in
     Printf.printf "%s\n" (Format.asprintf "%a" Ratio_report.pp_entry entry);
     Printf.printf
@@ -453,12 +489,14 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:
-         "Run Algorithm 1 with decision-level tracing: allocation \
-          provenance per task, Chrome trace-event / Gantt export, ratio \
-          accounting vs the Lemma 2 bound, and a self-profile.")
+         "Run the selected online algorithm with decision-level tracing: \
+          allocation provenance per task, Chrome trace-event / Gantt \
+          export, ratio accounting vs the Lemma 2 bound, and a \
+          self-profile.")
     Term.(
       const run $ kind_arg $ p_arg 64 $ seed_arg $ workload_arg $ size_arg
-      $ load_arg $ chrome_arg $ gantt_arg $ explain_arg $ jobs_arg)
+      $ load_arg $ chrome_arg $ gantt_arg $ explain_arg $ algorithm_arg
+      $ jobs_arg)
 
 (* ---------------------------------------------------------------- verify *)
 
@@ -486,7 +524,7 @@ let verify_cmd =
 (* ----------------------------------------------------------------- sweep *)
 
 let sweep_cmd =
-  let run kind p seed reps jobs =
+  let run kind p seed reps algo jobs =
     with_jobs jobs @@ fun pool ->
     (* All instances are generated before the fan-out, so the sweep result
        is independent of the job count. *)
@@ -496,19 +534,22 @@ let sweep_cmd =
           Moldable_workloads.Random_dag.layered ~rng ~n_layers:6 ~width:8
             ~edge_prob:0.25 ~kind ())
     in
-    let policies =
-      Experiment.algorithm1_fixed_mu (Mu.default kind)
-      :: List.tl Experiment.default_policies
+    let lead =
+      match algo with
+      | `Original -> Experiment.algorithm1_fixed_mu (Mu.default kind)
+      | `Improved -> Experiment.improved
     in
+    let policies = lead :: List.tl Experiment.default_policies in
     let outcomes =
       Experiment.evaluate ~pool ~p ~workload:"layered" ~policies dags
     in
     let bound =
+      (* Power-law graphs carry no guarantee; keep the general-model bound
+         as the reference line like the original sweep always did. *)
       match kind with
-      | Speedup.Kind_roofline -> 2.62
-      | Speedup.Kind_communication -> 3.61
-      | Speedup.Kind_amdahl -> 4.74
-      | Speedup.Kind_general | Speedup.Kind_power | Speedup.Kind_arbitrary -> 5.72
+      | Speedup.Kind_power | Speedup.Kind_arbitrary ->
+        proven_bound_of algo Speedup.Kind_general
+      | k -> proven_bound_of algo k
     in
     print_string (Report.table ~bound outcomes)
   in
@@ -519,8 +560,12 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep"
-       ~doc:"Compare Algorithm 1 against the baselines on random instances.")
-    Term.(const run $ kind_arg $ p_arg 64 $ seed_arg $ reps_arg $ jobs_arg)
+       ~doc:
+         "Compare the selected online algorithm against the baselines on \
+          random instances.")
+    Term.(
+      const run $ kind_arg $ p_arg 64 $ seed_arg $ reps_arg $ algorithm_arg
+      $ jobs_arg)
 
 let () =
   let info =
@@ -528,8 +573,16 @@ let () =
       ~doc:
         "Online scheduling of moldable task graphs (ICPP 2022 reproduction)."
   in
+  let group =
+    Cmd.group info
+      [ table1_cmd; figure_cmd; theorem9_cmd; simulate_cmd; trace_cmd;
+        verify_cmd; sweep_cmd ]
+  in
+  (* Conventional exit codes: usage errors (unknown subcommand, unknown
+     flag, unparsable option value) exit 2, uncaught exceptions 125 —
+     cmdliner's defaults (124/125) surprise shell scripts and CI. *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [ table1_cmd; figure_cmd; theorem9_cmd; simulate_cmd; trace_cmd;
-            verify_cmd; sweep_cmd ]))
+    (match Cmd.eval_value group with
+    | Ok (`Ok ()) | Ok `Help | Ok `Version -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 125)

@@ -22,6 +22,14 @@ let algorithm1 =
         Online_scheduler.policy ~allocator:Allocator.algorithm2_per_model ~p ());
   }
 
+let improved =
+  {
+    label = "Improved (per-model)";
+    make =
+      (fun ~p ->
+        Online_scheduler.policy ~allocator:Improved_alloc.per_model ~p ());
+  }
+
 let algorithm1_fixed_mu mu =
   {
     label = Printf.sprintf "Algorithm 1 (mu=%.3f)" mu;

@@ -25,6 +25,12 @@ val algorithm1 : policy_spec
 
 val algorithm1_fixed_mu : float -> policy_spec
 
+val improved : policy_spec
+(** The improved online algorithm (Perotin & Sun, arXiv:2304.14127) with
+    per-model [(mu, rho)] ({!Moldable_core.Improved_alloc.per_model}).
+    Not part of {!default_policies}: pass it explicitly to compare the two
+    algorithms side by side. *)
+
 val default_policies : policy_spec list
 (** Algorithm 1 plus the {!Moldable_core.Baselines}. *)
 

@@ -22,6 +22,13 @@ let table1_upper_bound = function
   | Speedup.Kind_general -> 5.72
   | Speedup.Kind_power | Speedup.Kind_arbitrary -> infinity
 
+let improved_upper_bound = function
+  | Speedup.Kind_roofline -> 2.62
+  | Speedup.Kind_communication -> 3.39
+  | Speedup.Kind_amdahl -> 4.55
+  | Speedup.Kind_general -> 4.63
+  | Speedup.Kind_power | Speedup.Kind_arbitrary -> infinity
+
 let kind_of_dag dag =
   let n = Dag.n dag in
   if n = 0 then Speedup.Kind_arbitrary
@@ -34,13 +41,17 @@ let kind_of_dag dag =
     if !mixed then Speedup.Kind_arbitrary else k0
   end
 
-let of_run ?model ~workload ~p ~makespan dag =
+let of_run ?model ?proven_bound ~workload ~p ~makespan dag =
   let b = Bounds.compute ~p dag in
   let model = match model with Some k -> k | None -> kind_of_dag dag in
   let area_bound = b.Bounds.a_min_total /. float_of_int p in
   let lower_bound = b.Bounds.lower_bound in
   let ratio = if lower_bound > 0. then makespan /. lower_bound else 1. in
-  let proven_bound = table1_upper_bound model in
+  let proven_bound =
+    match proven_bound with
+    | Some b -> b
+    | None -> table1_upper_bound model
+  in
   {
     workload;
     model;
@@ -152,6 +163,99 @@ let table entries =
         ])
     (summarize entries);
   Moldable_util.Texttab.render tab
+
+type comparison = {
+  c_workload : string;
+  c_model : Speedup.kind;
+  c_runs : int;
+  original_worst : float;
+  original_mean : float;
+  improved_worst : float;
+  improved_mean : float;
+  original_bound : float;
+  improved_bound : float;
+  c_all_within : bool;
+}
+
+let compare_runs ~original ~improved =
+  let so = summarize original and si = summarize improved in
+  (* Both lists come from the same instance set, so the grouped summaries
+     pair off one-to-one; a policy seen on only one side is dropped rather
+     than reported with fabricated zeros. *)
+  List.filter_map
+    (fun o ->
+      List.find_opt
+        (fun i ->
+          String.equal i.s_workload o.s_workload && i.s_model = o.s_model)
+        si
+      |> Option.map (fun i ->
+             let original_bound = table1_upper_bound o.s_model in
+             let improved_bound = improved_upper_bound o.s_model in
+             {
+               c_workload = o.s_workload;
+               c_model = o.s_model;
+               c_runs = o.runs;
+               original_worst = o.worst;
+               original_mean = o.mean;
+               improved_worst = i.worst;
+               improved_mean = i.mean;
+               original_bound;
+               improved_bound;
+               c_all_within =
+                 Moldable_util.Fcmp.leq o.worst original_bound
+                 && Moldable_util.Fcmp.leq i.worst improved_bound;
+             }))
+    so
+
+let comparison_table comparisons =
+  let fin fmt x =
+    if Float.is_finite x then Printf.sprintf fmt x else "-"
+  in
+  let tab =
+    Moldable_util.Texttab.create
+      ~headers:
+        [ "workload"; "model"; "runs"; "orig worst"; "impr worst";
+          "orig mean"; "impr mean"; "orig bound"; "impr bound"; "within" ]
+  in
+  List.iter
+    (fun c ->
+      Moldable_util.Texttab.add_row tab
+        [
+          c.c_workload;
+          Speedup.kind_name c.c_model;
+          string_of_int c.c_runs;
+          Printf.sprintf "%.4f" c.original_worst;
+          Printf.sprintf "%.4f" c.improved_worst;
+          Printf.sprintf "%.4f" c.original_mean;
+          Printf.sprintf "%.4f" c.improved_mean;
+          fin "%.2f" c.original_bound;
+          fin "%.2f" c.improved_bound;
+          (if c.c_all_within then "yes" else "NO");
+        ])
+    comparisons;
+  Moldable_util.Texttab.render tab
+
+let comparison_to_json comparisons =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"comparison\": [";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"workload\": \"%s\", \"model\": \"%s\", \"runs\": %d, \
+            \"original_worst\": %s, \"original_mean\": %s, \
+            \"improved_worst\": %s, \"improved_mean\": %s, \
+            \"original_bound\": %s, \"improved_bound\": %s, \
+            \"all_within\": %b}"
+           c.c_workload
+           (Speedup.kind_name c.c_model)
+           c.c_runs (jf c.original_worst) (jf c.original_mean)
+           (jf c.improved_worst) (jf c.improved_mean) (jf c.original_bound)
+           (jf c.improved_bound) c.c_all_within))
+    comparisons;
+  Buffer.add_string buf "]\n}\n";
+  Buffer.contents buf
 
 let pp_entry ppf e =
   Format.fprintf ppf

@@ -32,15 +32,26 @@ val table1_upper_bound : Speedup.kind -> float
     communication 3.61, Amdahl 4.74, general 5.72; [infinity] for power-law
     and arbitrary speedups (no guarantee). *)
 
+val improved_upper_bound : Speedup.kind -> float
+(** The improved algorithm's proven competitive ratios (Perotin & Sun,
+    arXiv:2304.14127, as reported): roofline 2.62, communication 3.39,
+    Amdahl 4.55, general 4.63; [infinity] for power-law and arbitrary
+    speedups.  The four-decimal forms and the recomputed originals live in
+    [Moldable_theory.Improved_bounds]; this module carries the reported
+    two-decimal values, matching {!table1_upper_bound}'s convention. *)
+
 val kind_of_dag : Dag.t -> Speedup.kind
 (** The common speedup family of the graph's tasks; [Kind_arbitrary] when
     the graph mixes families or is empty. *)
 
 val of_run :
-  ?model:Speedup.kind -> workload:string -> p:int -> makespan:float ->
-  Dag.t -> entry
+  ?model:Speedup.kind -> ?proven_bound:float -> workload:string -> p:int ->
+  makespan:float -> Dag.t -> entry
 (** Evaluates {!Moldable_graph.Bounds.compute} on the graph and joins it
-    with the run's makespan.  [model] overrides {!kind_of_dag}. *)
+    with the run's makespan.  [model] overrides {!kind_of_dag};
+    [proven_bound] overrides {!table1_upper_bound}[ model] — pass
+    [(improved_upper_bound model)] for a run of the improved allocator so
+    [within_bound] checks the guarantee that actually applies. *)
 
 type summary = {
   s_workload : string;
@@ -57,6 +68,32 @@ val summarize : entry list -> summary list
 
 val to_json : entry list -> string
 (** Self-contained JSON document: [{"runs": [...], "summary": [...]}]. *)
+
+type comparison = {
+  c_workload : string;
+  c_model : Speedup.kind;
+  c_runs : int;
+  original_worst : float;    (** Worst [T / LB] under Algorithm 1. *)
+  original_mean : float;
+  improved_worst : float;    (** Worst [T / LB] under the improved policy. *)
+  improved_mean : float;
+  original_bound : float;    (** {!table1_upper_bound}. *)
+  improved_bound : float;    (** {!improved_upper_bound}. *)
+  c_all_within : bool;       (** Each worst ratio under its own bound. *)
+}
+
+val compare_runs :
+  original:entry list -> improved:entry list -> comparison list
+(** Joins the per-(workload, model) summaries of two entry lists — the same
+    instance set run under Algorithm 1 and under the improved allocator —
+    into side-by-side rows.  Groups present on only one side are dropped. *)
+
+val comparison_table : comparison list -> string
+(** Rendered text table, one row per (workload, model) group. *)
+
+val comparison_to_json : comparison list -> string
+(** Stable JSON document [{"comparison": [...]}] — the schema of
+    [paper_artifacts/improved_ratio.json] (documented in EXPERIMENTS.md). *)
 
 val table : entry list -> string
 (** Human-readable summary table (one row per workload/model group). *)

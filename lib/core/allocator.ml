@@ -89,13 +89,18 @@ let scan_feasible_counted (a : Task.analyzed) bound =
   if Task.monotonic a then smallest_feasible_counted a bound
   else scan_feasible_linear_counted a bound
 
-let initial_analyzed_counted ~mu (a : Task.analyzed) =
-  let bound = Mu.delta mu *. a.Task.t_min in
+(* Step 1 against an explicit absolute time bound: the shared engine under
+   both Algorithm 2 (bound = delta(mu) t_min) and the improved algorithm of
+   Perotin–Sun (bound = rho t_min with a decoupled budget rho). *)
+let step1_counted (a : Task.analyzed) ~bound =
   match Speedup.kind a.Task.task.Task.speedup with
   | Speedup.Kind_arbitrary -> scan_feasible_counted a bound
   | Speedup.Kind_roofline | Speedup.Kind_communication | Speedup.Kind_amdahl
   | Speedup.Kind_general | Speedup.Kind_power ->
     smallest_feasible_counted a bound
+
+let initial_analyzed_counted ~mu (a : Task.analyzed) =
+  step1_counted a ~bound:(Mu.delta mu *. a.Task.t_min)
 
 let initial_analyzed ~mu a = fst (initial_analyzed_counted ~mu a)
 let initial ~mu ~p task = initial_analyzed ~mu (Task.analyze ~p task)

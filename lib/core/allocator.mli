@@ -63,6 +63,15 @@ val make :
 val initial : mu:float -> p:int -> Task.t -> int
 (** Step 1 of Algorithm 2 only. *)
 
+val step1_counted : Task.analyzed -> bound:float -> int * int
+(** The Step-1 search against an explicit absolute execution-time bound:
+    smallest feasible allocation for monotonic models (binary search),
+    minimum-area feasible allocation for non-monotonic [Arbitrary] models
+    (exhaustive scan).  Returns the allocation and the number of
+    feasibility candidates probed.  This is the engine shared by
+    {!algorithm2} ([bound = delta(mu) * t_min]) and the improved
+    allocator of {!Improved_alloc} ([bound = rho * t_min]). *)
+
 val initial_analyzed : mu:float -> Task.analyzed -> int
 (** {!initial} from a precomputed analysis. *)
 

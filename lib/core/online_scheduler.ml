@@ -155,6 +155,18 @@ let run_instrumented ?priority ?(allocator = Allocator.algorithm2_per_model)
     (policy ?priority ?tracer ~allocator ~p ())
     dag
 
+(* The improved algorithm (arXiv:2304.14127) as a first-class policy: the
+   same list scheduler over the refined two-phase allocator, so every
+   engine, tracer and report that accepts a policy or an allocator runs it
+   transparently. *)
+let run_improved ?priority ?release_times ~p dag =
+  run ?priority ~allocator:Improved_alloc.per_model ?release_times ~p dag
+
+let run_improved_instrumented ?priority ?release_times ?seed ?max_attempts
+    ?failures ?tracer ~p dag =
+  run_instrumented ?priority ~allocator:Improved_alloc.per_model
+    ?release_times ?seed ?max_attempts ?failures ?tracer ~p dag
+
 let makespan ?priority ?allocator ~p dag =
   Schedule.makespan (run ?priority ?allocator ~p dag).Engine.schedule
 

@@ -60,6 +60,20 @@ val run_instrumented :
     execution spans and the self-profile) and the full instrumented
     {!Sim_core.result} (schedule, trace, attempts and {!Metrics.t}). *)
 
+val run_improved :
+  ?priority:Priority.t -> ?release_times:float array -> p:int -> Dag.t ->
+  Engine.result
+(** {!run} with the improved allocator {!Improved_alloc.per_model} — the
+    refined algorithm of arXiv:2304.14127 as a first-class policy. *)
+
+val run_improved_instrumented :
+  ?priority:Priority.t -> ?release_times:float array -> ?seed:int ->
+  ?max_attempts:int -> ?failures:Sim_core.failure_model ->
+  ?tracer:Tracer.t -> p:int -> Dag.t -> Sim_core.result
+(** {!run_instrumented} with {!Improved_alloc.per_model}: the improved
+    policy under the unified core with tracer provenance, failure
+    injection and the instrumented result. *)
+
 val makespan :
   ?priority:Priority.t -> ?allocator:Allocator.t -> p:int -> Dag.t -> float
 

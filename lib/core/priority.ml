@@ -4,17 +4,22 @@ type item = { task : Task.t; alloc : int; t_min : float; seq : int }
 
 type t = { name : string; compare : item -> item -> int }
 
-let by_seq a b = compare a.seq b.seq
+let by_seq a b = Int.compare a.seq b.seq
 
 let with_tiebreak key a b =
   match key a b with 0 -> by_seq a b | c -> c
 
 let fifo = { name = "fifo"; compare = by_seq }
 
+(* Float keys go through Float.compare, never polymorphic compare: the
+   latter treats NaN inconsistently across comparison contexts, which
+   breaks antisymmetry and with it the heap invariant of the ready queue.
+   Float.compare totally orders NaN (below every other float, equal to
+   itself), so the priority order stays total even on a poisoned key. *)
 let longest_first =
   {
     name = "longest-first";
-    compare = with_tiebreak (fun a b -> compare b.t_min a.t_min);
+    compare = with_tiebreak (fun a b -> Float.compare b.t_min a.t_min);
   }
 
 let area i = Task.area i.task i.alloc
@@ -22,19 +27,19 @@ let area i = Task.area i.task i.alloc
 let largest_area_first =
   {
     name = "largest-area-first";
-    compare = with_tiebreak (fun a b -> compare (area b) (area a));
+    compare = with_tiebreak (fun a b -> Float.compare (area b) (area a));
   }
 
 let widest_first =
   {
     name = "widest-first";
-    compare = with_tiebreak (fun a b -> compare b.alloc a.alloc);
+    compare = with_tiebreak (fun a b -> Int.compare b.alloc a.alloc);
   }
 
 let narrowest_first =
   {
     name = "narrowest-first";
-    compare = with_tiebreak (fun a b -> compare a.alloc b.alloc);
+    compare = with_tiebreak (fun a b -> Int.compare a.alloc b.alloc);
   }
 
 let all = [ fifo; longest_first; largest_area_first; widest_first;

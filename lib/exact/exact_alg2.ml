@@ -105,6 +105,27 @@ let decide ?(eps = Exact_speedup.default_eps) ~mu (a : analyzed) =
     final_alloc = min p_star dcap;
   }
 
+(* Exact mirror of the improved allocator (Improved_alloc): Step 1 against
+   the decoupled budget rho instead of delta(mu), then the same guarded
+   ceil(mu P) cap.  Sharing step1/cap keeps the two shadows decision-
+   compatible with their float counterparts by construction. *)
+let decide_improved ?(eps = Exact_speedup.default_eps) ~mu ~rho (a : analyzed)
+    =
+  if Rat.sign mu <= 0 || Rat.compare (Rat.mul (Rat.of_int 2) mu) Rat.one > 0
+  then invalid_arg "Exact_alg2.decide_improved: mu must be in (0, 1/2]";
+  if Rat.compare rho Rat.one < 0 then
+    invalid_arg "Exact_alg2.decide_improved: rho must be >= 1";
+  let bound = Rat.mul rho a.t_min in
+  let p_star = step1 ~eps a ~bound in
+  let dcap = cap ~eps ~mu a.p in
+  {
+    p_star;
+    bound;
+    dcap;
+    dcap_paper = cap_paper ~mu a.p;
+    final_alloc = min p_star dcap;
+  }
+
 type bounds = { a_min_total : Rat.t; c_min : Rat.t; lower_bound : Rat.t }
 
 let lower_bound ?(eps = Exact_speedup.default_eps) ~p g =

@@ -49,6 +49,14 @@ type decision = {
 
 val decide : ?eps:Rat.t -> mu:Rat.t -> analyzed -> decision
 
+val decide_improved :
+  ?eps:Rat.t -> mu:Rat.t -> rho:Rat.t -> analyzed -> decision
+(** Exact mirror of the improved allocator
+    ({!Moldable_core.Improved_alloc}): Step 1 against the decoupled budget
+    [bound = rho * t_min] instead of [delta(mu) * t_min], then the same
+    guarded [ceil(mu P)] cap.  Requires [mu] in [(0, 1/2]] and [rho >= 1].
+    @raise Invalid_argument outside those ranges. *)
+
 type bounds = {
   a_min_total : Rat.t;
   c_min : Rat.t;

@@ -94,8 +94,12 @@ let report_to_json r =
     r.checks r.n_explained r.n_unexplained
     (String.concat ", " (List.map divergence_to_json r.divergences))
 
-let check ?mu ?(eps = Moldable_util.Fcmp.default_eps) ?(tol = 1e-12)
+let check ?mu ?improved ?(eps = Moldable_util.Fcmp.default_eps) ?(tol = 1e-12)
     ?(band = 1e-13) ~dag ~p (r : Sim_core.result) =
+  (match (mu, improved) with
+  | Some _, Some _ ->
+    invalid_arg "Shadow.check: mu and improved are mutually exclusive"
+  | _ -> ());
   let eps_r = Rat.of_float eps in
   let tol_r = Rat.of_float tol in
   let batch_r = Rat.of_float Event_queue.batch_eps in
@@ -269,11 +273,24 @@ let check ?mu ?(eps = Moldable_util.Fcmp.default_eps) ?(tol = 1e-12)
       sweep ivs)
     per_proc;
 
-  (* --- Algorithm 2 allocations (when mu is known) ---------------------- *)
-  (match mu with
+  (* --- allocation decisions: Algorithm 2 when [mu] is known, the improved
+     allocator when [improved] supplies its per-task (mu, rho) ----------- *)
+  let decider =
+    match (mu, improved) with
+    | Some mu_f, None ->
+      let mu_r = Rat.of_float mu_f in
+      Some (fun eps task_eps -> Exact_alg2.decide ~eps ~mu:mu_r task_eps)
+    | None, Some params_of ->
+      Some
+        (fun eps (a : Exact_alg2.analyzed) ->
+          let mu_f, rho_f = (params_of : _ -> float * float) a.Exact_alg2.task in
+          Exact_alg2.decide_improved ~eps ~mu:(Rat.of_float mu_f)
+            ~rho:(Rat.of_float rho_f) a)
+    | None, None | Some _, Some _ -> None
+  in
+  (match decider with
   | None -> ()
-  | Some mu_f ->
-    let mu_r = Rat.of_float mu_f in
+  | Some decide ->
     let band_r = Rat.of_float band in
     let eps_lo = Rat.sub eps_r band_r and eps_hi = Rat.add eps_r band_r in
     for i = 0 to n - 1 do
@@ -281,20 +298,14 @@ let check ?mu ?(eps = Moldable_util.Fcmp.default_eps) ?(tol = 1e-12)
       let got = (Schedule.placement r.Sim_core.schedule i).Schedule.nprocs in
       incr checks;
       let a = Exact_alg2.analyze ~eps:eps_r ~p task in
-      let d = Exact_alg2.decide ~eps:eps_r ~mu:mu_r a in
+      let d = decide eps_r a in
       if d.Exact_alg2.final_alloc <> got then begin
         (* Envelope classification: the float answer is explained when it
            falls between the exact decisions at eps perturbed by the
            rounding band — i.e. the disagreement lives on a tolerant-
            comparison boundary that float rounding can legitimately flip. *)
-        let d_lo =
-          Exact_alg2.decide ~eps:eps_lo ~mu:mu_r
-            (Exact_alg2.analyze ~eps:eps_lo ~p task)
-        in
-        let d_hi =
-          Exact_alg2.decide ~eps:eps_hi ~mu:mu_r
-            (Exact_alg2.analyze ~eps:eps_hi ~p task)
-        in
+        let d_lo = decide eps_lo (Exact_alg2.analyze ~eps:eps_lo ~p task) in
+        let d_hi = decide eps_hi (Exact_alg2.analyze ~eps:eps_hi ~p task) in
         let lo = min d_lo.Exact_alg2.final_alloc d_hi.Exact_alg2.final_alloc in
         let hi = max d_lo.Exact_alg2.final_alloc d_hi.Exact_alg2.final_alloc in
         let explained = got >= lo && got <= hi in

@@ -62,6 +62,7 @@ val ok : report -> bool
 
 val check :
   ?mu:float ->
+  ?improved:(Moldable_model.Task.t -> float * float) ->
   ?eps:float ->
   ?tol:float ->
   ?band:float ->
@@ -73,7 +74,13 @@ val check :
 
     [mu] (optional) additionally verifies every task's allocation against
     the exact Algorithm 2 at that [mu] — pass the same value the float
-    allocator ran with.  [eps] (default {!Moldable_util.Fcmp.default_eps})
+    allocator ran with.  [improved] (optional, mutually exclusive with
+    [mu]) instead verifies allocations against the exact improved
+    allocator ({!Exact_alg2.decide_improved}); the callback returns the
+    [(mu, rho)] the float side used for that task — pass
+    [fun task -> let p = Moldable_core.Improved_alloc.params
+    (Moldable_model.Speedup.kind task.speedup) in (p.mu, p.rho)] to mirror
+    [Improved_alloc.per_model].  [eps] (default {!Moldable_util.Fcmp.default_eps})
     is the comparison tolerance whose exact image the tolerant spec is
     evaluated at.  [tol] (default [1e-12]) is the allowance for accumulated
     float rounding in stamp arithmetic.  [band] (default [1e-13]) is the

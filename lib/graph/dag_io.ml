@@ -79,6 +79,95 @@ let parse_speedup lineno tokens =
   | kind :: _ -> fail "line %d: unknown or malformed model %S" lineno kind
   | [] -> fail "line %d: missing speedup model" lineno
 
+(* Structural validation over the parsed declarations, each error naming
+   the offending line.  [Dag.create] rechecks the same invariants, but its
+   diagnostics cannot point back into the source text. *)
+let validate tasks edges =
+  let ( let* ) = Result.bind in
+  (* Duplicate ids, naming both declarations. *)
+  let seen = Hashtbl.create 16 in
+  let* () =
+    List.fold_left
+      (fun acc (lineno, (t : Task.t)) ->
+        let* () = acc in
+        match Hashtbl.find_opt seen t.Task.id with
+        | Some first ->
+          Error
+            (Printf.sprintf
+               "line %d: duplicate task id %d (first declared at line %d)"
+               lineno t.Task.id first)
+        | None ->
+          Hashtbl.add seen t.Task.id lineno;
+          Ok ())
+      (Ok ()) tasks
+  in
+  let n = List.length tasks in
+  (* Ids must cover 0..n-1: with duplicates excluded, any id outside the
+     range implies a gap somewhere. *)
+  let* () =
+    List.fold_left
+      (fun acc (lineno, (t : Task.t)) ->
+        let* () = acc in
+        if t.Task.id < 0 || t.Task.id >= n then
+          Error
+            (Printf.sprintf
+               "line %d: task id %d out of range (%d task(s) declared, ids \
+                must cover 0..%d)"
+               lineno t.Task.id n (n - 1))
+        else Ok ())
+      (Ok ()) tasks
+  in
+  let* () =
+    List.fold_left
+      (fun acc (lineno, i, j) ->
+        let* () = acc in
+        if i = j then Error (Printf.sprintf "line %d: self-edge %d -> %d" lineno i j)
+        else
+          let undeclared =
+            if not (Hashtbl.mem seen i) then Some i
+            else if not (Hashtbl.mem seen j) then Some j
+            else None
+          in
+          match undeclared with
+          | Some k ->
+            Error
+              (Printf.sprintf
+                 "line %d: edge %d -> %d references undeclared task %d"
+                 lineno i j k)
+          | None -> Ok ())
+      (Ok ()) edges
+  in
+  (* Cycle detection by Kahn elimination; any edge whose endpoints both
+     survive lies on (or feeds) a cycle — report the first such by line. *)
+  let indeg = Array.make n 0 in
+  let succ = Array.make n [] in
+  List.iter
+    (fun (_, i, j) ->
+      indeg.(j) <- indeg.(j) + 1;
+      succ.(i) <- j :: succ.(i))
+    edges;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let removed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    incr removed;
+    List.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.add j queue)
+      succ.(i)
+  done;
+  if !removed = n then Ok ()
+  else
+    let on_cycle =
+      List.find_opt (fun (_, i, j) -> indeg.(i) > 0 && indeg.(j) > 0) edges
+    in
+    match on_cycle with
+    | Some (lineno, i, j) ->
+      Error (Printf.sprintf "line %d: edge %d -> %d lies on a cycle" lineno i j)
+    | None -> Error "the precedence graph contains a cycle"
+
 let of_string text =
   let ( let* ) = Result.bind in
   let lines = String.split_on_char '\n' text in
@@ -103,10 +192,10 @@ let of_string text =
                 Error (Printf.sprintf "line %d: %s" lineno msg)
             in
             let* task = task in
-            go (lineno + 1) (task :: tasks) edges rest)
+            go (lineno + 1) ((lineno, task) :: tasks) edges rest)
         | [ "edge"; i; j ] -> (
           match (int_of_string_opt i, int_of_string_opt j) with
-          | Some i, Some j -> go (lineno + 1) tasks ((i, j) :: edges) rest
+          | Some i, Some j -> go (lineno + 1) tasks ((lineno, i, j) :: edges) rest
           | _ -> Error (Printf.sprintf "line %d: bad edge" lineno))
         | tok :: _ ->
           Error (Printf.sprintf "line %d: unknown declaration %S" lineno tok)
@@ -114,6 +203,15 @@ let of_string text =
       end
   in
   let* tasks, edges = go 1 [] [] lines in
+  let* () = validate tasks edges in
+  (* Declaration order is free: tasks sort by id (validated dense above). *)
+  let tasks =
+    List.sort
+      (fun (_, (a : Task.t)) (_, (b : Task.t)) -> Int.compare a.Task.id b.Task.id)
+      tasks
+    |> List.map snd
+  in
+  let edges = List.map (fun (_, i, j) -> (i, j)) edges in
   try Ok (Dag.create ~tasks ~edges)
   with Invalid_argument msg -> Error msg
 

@@ -20,8 +20,13 @@ val to_string : Dag.t -> (string, string) result
 (** [Error] if the graph contains an [Arbitrary] speedup. *)
 
 val of_string : string -> (Dag.t, string) result
-(** Parses and validates (ids, edges, acyclicity); errors carry the
-    offending line number. *)
+(** Parses and validates the graph; every diagnostic names the offending
+    line.  Rejected: malformed declarations and model parameters (including
+    non-positive work, via {!Moldable_model.Task.make}), duplicate task ids
+    (the error names both declaring lines), ids not covering [0..n-1],
+    self-edges, edges whose endpoint is undeclared, and cycles (the error
+    names an edge lying on the cycle).  Tasks may be declared in any
+    order. *)
 
 val to_file : string -> Dag.t -> (unit, string) result
 val of_file : string -> (Dag.t, string) result

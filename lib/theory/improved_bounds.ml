@@ -1,0 +1,74 @@
+open Moldable_core
+
+(* Proven competitive ratios of the improved algorithm (Perotin & Sun,
+   arXiv:2304.14127), per speedup model.  Unlike Model_bounds — which
+   recomputes the ICPP 2022 upper bounds from the closed-form Lemma 5
+   ratio by a 1-D optimization over mu — the refined analysis is a case
+   split over the interval classes of its lower-bound pairing whose
+   per-model optimization we transcribe rather than re-derive; the
+   empirical side (adversarial families, random sweeps, the exact shadow
+   oracle) verifies the transcription, mirroring how the paper-reported
+   Table 1 columns are carried next to the recomputed ones. *)
+
+let upper_bound (f : Model_bounds.family) =
+  match f with
+  | Model_bounds.Roofline -> 2.6180
+  | Model_bounds.Communication -> 3.3919
+  | Model_bounds.Amdahl -> 4.5521
+  | Model_bounds.General -> 4.6330
+
+(* The two-decimal forms the improved paper reports. *)
+let paper_upper (f : Model_bounds.family) =
+  match f with
+  | Model_bounds.Roofline -> 2.62
+  | Model_bounds.Communication -> 3.39
+  | Model_bounds.Amdahl -> 4.55
+  | Model_bounds.General -> 4.63
+
+let kind_of_family = function
+  | Model_bounds.Roofline -> Moldable_model.Speedup.Kind_roofline
+  | Model_bounds.Communication -> Moldable_model.Speedup.Kind_communication
+  | Model_bounds.Amdahl -> Moldable_model.Speedup.Kind_amdahl
+  | Model_bounds.General -> Moldable_model.Speedup.Kind_general
+
+let params f = Improved_alloc.params (kind_of_family f)
+
+type row = {
+  family : Model_bounds.family;
+  mu : float;
+  rho : float;
+  original : float;  (* recomputed ICPP 2022 bound (Model_bounds.optimize) *)
+  improved : float;  (* transcribed refined bound *)
+  paper_improved : float;
+}
+
+let table () =
+  List.map
+    (fun family ->
+      let { Improved_alloc.mu; rho } = params family in
+      let _, original = Model_bounds.optimize family in
+      {
+        family;
+        mu;
+        rho;
+        original;
+        improved = upper_bound family;
+        paper_improved = paper_upper family;
+      })
+    Model_bounds.all_families
+
+(* Structural sanity of the transcription, checked by the test suite:
+   every improved bound strictly improves on (or, for roofline, matches)
+   the recomputed original, and the parameters are admissible for the
+   refined pairing (mu in (0, 1/2], rho >= 1; for roofline the original
+   coupling rho = delta(mu) is preserved since the bound is unchanged). *)
+let coherent () =
+  List.for_all
+    (fun r ->
+      let eps = 1e-6 in
+      r.improved <= r.original +. eps
+      && r.improved >= 1.
+      && r.mu > 0. && r.mu <= 0.5 +. eps
+      && r.rho >= 1. -. eps
+      && Float.abs (r.improved -. r.paper_improved) <= 5e-3)
+    (table ())

@@ -1,0 +1,44 @@
+(** Proven competitive ratios of the improved online algorithm
+    (Perotin & Sun, "Improved Online Scheduling of Moldable Task Graphs
+    under Common Speedup Models", arXiv:2304.14127), side by side with the
+    recomputed ICPP 2022 bounds.
+
+    The refined analysis decouples the time budget [rho] from the cap
+    fraction [mu] and pairs capped low-utilization intervals against the
+    area and critical-path lower bounds jointly; optimizing [(mu, rho)]
+    per model improves every Table 1 upper bound except roofline's
+    (already tight at [1 + golden ratio]).  The per-model case split is
+    transcribed (like the paper-reported columns elsewhere in this
+    library) rather than re-derived; the differential test suite and the
+    exact oracle verify the transcription empirically. *)
+
+val upper_bound : Model_bounds.family -> float
+(** Improved proven competitive ratio: roofline [2.6180], communication
+    [3.3919], Amdahl [4.5521], general [4.6330]. *)
+
+val paper_upper : Model_bounds.family -> float
+(** The two-decimal forms reported by the improved paper
+    ([2.62 / 3.39 / 4.55 / 4.63]). *)
+
+val params : Model_bounds.family -> Moldable_core.Improved_alloc.params
+(** The optimized [(mu, rho)] the improved allocator runs with for this
+    family. *)
+
+val kind_of_family : Model_bounds.family -> Moldable_model.Speedup.kind
+
+type row = {
+  family : Model_bounds.family;
+  mu : float;
+  rho : float;
+  original : float;      (** Recomputed ICPP 2022 bound. *)
+  improved : float;      (** Transcribed refined bound. *)
+  paper_improved : float;
+}
+
+val table : unit -> row list
+(** One row per family, original-vs-improved. *)
+
+val coherent : unit -> bool
+(** Structural sanity of the transcription: improved bounds never exceed
+    the recomputed originals, parameters admissible, paper rounding within
+    [5e-3]. *)

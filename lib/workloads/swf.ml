@@ -4,9 +4,12 @@ open Moldable_graph
 
 type job = { id : int; submit : float; run_time : float; procs : int }
 
+type load = { jobs : job list; skipped_lines : int }
+
 let parse text =
   let lines = String.split_on_char '\n' text in
   let jobs = ref [] in
+  let skipped = ref 0 in
   let error = ref None in
   List.iteri
     (fun lineno line ->
@@ -27,22 +30,34 @@ let parse text =
                 int_of_string_opt procs )
             with
             | Some id, Some submit, Some run_time, Some procs ->
-              if run_time > 0. && procs >= 1 && submit >= 0. then
+              (* SWF writes -1 for "unknown / unavailable" and 0 run time
+                 for cancelled jobs: both are skipped records, not data
+                 errors.  Any other negative duration or width is not an
+                 SWF convention — it means the log is corrupt, so fail
+                 loudly instead of quietly shrinking the workload. *)
+              if run_time < 0. && run_time <> -1. then
+                error :=
+                  Some
+                    (Printf.sprintf "line %d: negative run time %g"
+                       (lineno + 1) run_time)
+              else if procs < 0 && procs <> -1 then
+                error :=
+                  Some
+                    (Printf.sprintf "line %d: negative processor count %d"
+                       (lineno + 1) procs)
+              else if run_time > 0. && procs >= 1 && submit >= 0. then
                 jobs := { id; submit; run_time; procs } :: !jobs
-              (* else: cancelled or malformed entry, skipped by convention *)
+              else incr skipped
             | _ ->
-              error :=
-                Some (Printf.sprintf "line %d: unparsable fields" (lineno + 1)))
-          | _ ->
-            error :=
-              Some
-                (Printf.sprintf "line %d: fewer than 5 fields" (lineno + 1))
+              (* Unparsable fields: a malformed record, counted. *)
+              incr skipped)
+          | _ -> incr skipped
         end
       end)
     lines;
   match !error with
   | Some e -> Error e
-  | None -> Ok (List.rev !jobs)
+  | None -> Ok { jobs = List.rev !jobs; skipped_lines = !skipped }
 
 let parse_file path =
   match In_channel.with_open_text path In_channel.input_all with

@@ -29,11 +29,22 @@ type job = {
   procs : int;       (** Allocated processors, >= 1. *)
 }
 
-val parse : string -> (job list, string) result
-(** Jobs with non-positive run time or processor count (cancelled /
-    malformed entries) are skipped silently, as is conventional. *)
+type load = {
+  jobs : job list;
+  skipped_lines : int;
+      (** Records skipped by convention: [-1] ("unknown") run time or
+          processor count, [0] run time (cancelled jobs), negative submit
+          times, and malformed records (fewer than 5 fields or unparsable
+          numbers). *)
+}
 
-val parse_file : string -> (job list, string) result
+val parse : string -> (load, string) result
+(** Skipped records are counted, not silently dropped — a loader can
+    surface [skipped_lines] so a half-garbage log is visible.  Negative
+    run times or processor counts other than the [-1] sentinel are data
+    corruption and yield [Error] naming the offending line. *)
+
+val parse_file : string -> (load, string) result
 
 val to_swf_string : job list -> string
 (** Writes a minimal valid SWF document (unknown fields as [-1]). *)

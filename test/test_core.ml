@@ -226,6 +226,36 @@ let test_priority_tiebreak_stable () =
         (p.Priority.compare a b < 0))
     Priority.all
 
+(* Regression for the comparator keys: every priority must induce a total
+   antisymmetric transitive order on items even when a float key is
+   poisoned (NaN, infinities) — a partial order corrupts the ready queue's
+   heap invariant silently.  The t_min key is set after construction so
+   NaN bypasses Task.make's validation, exactly like a float bug upstream
+   would deliver it. *)
+let prop_priority_total_order =
+  let keys = [| 1.; 2.; 0.5; nan; infinity; neg_infinity |] in
+  let sign c = Stdlib.compare c 0 in
+  let item_of (ki, alloc, seq) =
+    { (item ~id:seq ~alloc ~t_min:1. ~seq) with Priority.t_min = keys.(ki) }
+  in
+  QCheck.Test.make
+    ~name:"priority order total, antisymmetric, transitive (incl. NaN keys)"
+    ~count:1000
+    QCheck.(
+      triple
+        (triple (int_range 0 5) (int_range 1 8) (int_range 0 20))
+        (triple (int_range 0 5) (int_range 1 8) (int_range 0 20))
+        (triple (int_range 0 5) (int_range 1 8) (int_range 0 20)))
+    (fun (ia, ib, ic) ->
+      let a = item_of ia and b = item_of ib and c = item_of ic in
+      List.for_all
+        (fun (p : Priority.t) ->
+          let cmp = p.Priority.compare in
+          sign (cmp a b) = -sign (cmp b a)
+          && cmp a a = 0 && cmp b b = 0
+          && ((not (cmp a b <= 0 && cmp b c <= 0)) || cmp a c <= 0))
+        Priority.all)
+
 (* ------------------------------------------------------ Online scheduler *)
 
 let simple_dag tasks edges = Dag.create ~tasks ~edges
@@ -376,6 +406,7 @@ let () =
           Alcotest.test_case "widest/narrowest" `Quick test_widest_narrowest;
           Alcotest.test_case "stable tiebreak" `Quick
             test_priority_tiebreak_stable;
+          qt prop_priority_total_order;
         ] );
       ( "online_scheduler",
         [

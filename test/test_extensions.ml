@@ -475,6 +475,56 @@ let test_io_parse_errors () =
       | Ok _ -> Alcotest.failf "accepted malformed input: %s" text)
     cases
 
+(* Structural validation diagnostics must name the offending line — the
+   line-less [Dag.create] messages are useless on a 10k-line graph file. *)
+let test_io_line_numbered_diagnostics () =
+  let expect_error text fragment =
+    match Dag_io.of_string text with
+    | Ok _ -> Alcotest.failf "accepted invalid input: %s" text
+    | Error e ->
+      let contains_sub hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec at i =
+          i + nn <= nh && (String.sub hay i nn = needle || at (i + 1))
+        in
+        at 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S mentions %S" e fragment)
+        true (contains_sub e fragment)
+  in
+  (* Duplicate id: names both declaring lines. *)
+  let dup = "task 0 a amdahl 1 1\ntask 1 b amdahl 1 1\ntask 0 c amdahl 1 1" in
+  expect_error dup "line 3: duplicate task id 0";
+  expect_error dup "first declared at line 1";
+  (* Self-edge. *)
+  expect_error "task 0 a amdahl 1 1\nedge 0 0" "line 2: self-edge 0 -> 0";
+  (* Edge to an undeclared node. *)
+  expect_error "task 0 a amdahl 1 1\nedge 0 7"
+    "line 2: edge 0 -> 7 references undeclared task 7";
+  (* Cycle: names an edge on the cycle. *)
+  expect_error
+    "task 0 a amdahl 1 1\ntask 1 b amdahl 1 1\ntask 2 c amdahl 1 1\n\
+     edge 0 1\nedge 1 2\nedge 2 1"
+    "lies on a cycle";
+  (* Id gap. *)
+  expect_error "task 0 a amdahl 1 1\ntask 4 b amdahl 1 1"
+    "line 2: task id 4 out of range";
+  (* Non-positive work, via Task.make, still line-numbered. *)
+  expect_error "task 0 a amdahl -2 1" "line 1:"
+
+let test_io_declaration_order_free () =
+  (* Tasks may be declared in any id order; edges may precede tasks. *)
+  let text =
+    "edge 1 0\ntask 1 b amdahl 2 1\ntask 0 a amdahl 1 1\n"
+  in
+  match Dag_io.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok dag ->
+    Alcotest.(check int) "n" 2 (Dag.n dag);
+    Alcotest.(check string) "task 0 label" "a" (Dag.task dag 0).Task.label;
+    Alcotest.(check (list (pair int int))) "edge" [ (1, 0) ] (Dag.edges dag)
+
 let test_io_comments_and_blanks () =
   let text = "# header\n\n  \ntask 0 t0 amdahl 2 1\n# trailing\n" in
   match Dag_io.of_string text with
@@ -601,6 +651,10 @@ let () =
           Alcotest.test_case "label sanitized" `Quick test_io_label_sanitized;
           Alcotest.test_case "rejects arbitrary" `Quick test_io_rejects_arbitrary;
           Alcotest.test_case "parse errors" `Quick test_io_parse_errors;
+          Alcotest.test_case "line-numbered diagnostics" `Quick
+            test_io_line_numbered_diagnostics;
+          Alcotest.test_case "declaration order free" `Quick
+            test_io_declaration_order_free;
           Alcotest.test_case "comments and blanks" `Quick
             test_io_comments_and_blanks;
           Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;

@@ -273,32 +273,71 @@ let test_swf_parse_basic () =
   in
   match Swf.parse text with
   | Error e -> Alcotest.fail e
-  | Ok jobs ->
+  | Ok { Swf.jobs; skipped_lines } ->
     Alcotest.(check int) "two jobs" 2 (List.length jobs);
+    Alcotest.(check int) "nothing skipped" 0 skipped_lines;
     let j = List.hd jobs in
     Alcotest.(check int) "id" 1 j.Swf.id;
     Alcotest.(check (float 1e-9)) "runtime" 100. j.Swf.run_time;
     Alcotest.(check int) "procs" 4 j.Swf.procs
 
 let test_swf_skips_cancelled () =
-  (* run_time <= 0 means cancelled/failed: skipped, not an error. *)
+  (* run_time <= 0 means cancelled/failed: skipped and counted. *)
   let text = "1 0 0 -1 4 -1 -1 4 -1 -1 0 -1 -1 -1 -1 -1 -1 -1\n" in
   match Swf.parse text with
   | Error e -> Alcotest.fail e
-  | Ok jobs -> Alcotest.(check int) "skipped" 0 (List.length jobs)
+  | Ok { Swf.jobs; skipped_lines } ->
+    Alcotest.(check int) "no usable jobs" 0 (List.length jobs);
+    Alcotest.(check int) "counted" 1 skipped_lines
 
-let test_swf_rejects_garbage () =
-  Alcotest.(check bool) "error" true (Result.is_error (Swf.parse "hello world"));
-  Alcotest.(check bool) "error fields" true
-    (Result.is_error (Swf.parse "1 2 3"))
+let test_swf_counts_malformed () =
+  (* Malformed records are skipped and counted, not fatal: real archive
+     logs carry the occasional truncated line. *)
+  let text =
+    "hello world\n\
+     1 2 3\n\
+     1 0.0 5 100.0 4 -1 -1 4 100 -1 1 -1 -1 -1 -1 -1 -1 -1\n\
+     x y z w v\n"
+  in
+  match Swf.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok { Swf.jobs; skipped_lines } ->
+    Alcotest.(check int) "one usable job" 1 (List.length jobs);
+    Alcotest.(check int) "three skipped" 3 skipped_lines
+
+let test_swf_rejects_corrupt_negatives () =
+  (* -1 is the SWF "unknown" sentinel; any other negative run time or
+     processor count is corruption and must fail, naming the line. *)
+  let neg_run = "7 0 0 -5 4 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n" in
+  let contains_sub hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  (match Swf.parse neg_run with
+  | Ok _ -> Alcotest.fail "negative run time accepted"
+  | Error e ->
+    Alcotest.(check bool) "names line 1" true (contains_sub e "line 1"));
+  let neg_procs = "7 0 0 10 -3 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n" in
+  (match Swf.parse neg_procs with
+  | Ok _ -> Alcotest.fail "negative processor count accepted"
+  | Error e ->
+    Alcotest.(check bool) "names processor count" true
+      (contains_sub e "processor count"));
+  (* The sentinel itself stays a counted skip. *)
+  match Swf.parse "7 0 0 -1 -1 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n" with
+  | Ok { Swf.jobs = []; skipped_lines = 1 } -> ()
+  | Ok _ -> Alcotest.fail "sentinel record not skip-counted"
+  | Error e -> Alcotest.fail e
 
 let test_swf_roundtrip () =
   let rng = Rng.create 30 in
   let jobs = Swf.synthetic ~rng ~n:20 ~mean_interarrival:60. ~max_procs:64 in
   match Swf.parse (Swf.to_swf_string jobs) with
   | Error e -> Alcotest.fail e
-  | Ok jobs' ->
+  | Ok { Swf.jobs = jobs'; skipped_lines } ->
     Alcotest.(check int) "count preserved" 20 (List.length jobs');
+    Alcotest.(check int) "nothing skipped" 0 skipped_lines;
     List.iter2
       (fun a b ->
         Alcotest.(check int) "id" a.Swf.id b.Swf.id;
@@ -455,7 +494,9 @@ let () =
         [
           Alcotest.test_case "parse basic" `Quick test_swf_parse_basic;
           Alcotest.test_case "skips cancelled" `Quick test_swf_skips_cancelled;
-          Alcotest.test_case "rejects garbage" `Quick test_swf_rejects_garbage;
+          Alcotest.test_case "counts malformed" `Quick test_swf_counts_malformed;
+          Alcotest.test_case "rejects corrupt negatives" `Quick
+            test_swf_rejects_corrupt_negatives;
           Alcotest.test_case "roundtrip" `Quick test_swf_roundtrip;
           Alcotest.test_case "synthetic shape" `Quick test_swf_synthetic_shape;
           Alcotest.test_case "synthetic full width reachable" `Quick
