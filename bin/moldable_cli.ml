@@ -8,7 +8,8 @@
      trace     run with decision-level tracing (provenance, Chrome trace,
                Gantt, ratio accounting, self-profile)
      verify    run Algorithm 1 and check the Lemma 3/4/5 inequalities
-     sweep     compare policies over random instances *)
+     sweep     compare policies over random instances
+     metrics   pretty-print a --telemetry snapshot (or emit OpenMetrics) *)
 
 open Cmdliner
 open Moldable_model
@@ -61,7 +62,7 @@ let jobs_arg =
            Results are bit-identical at any job count; 1 (the default) is \
            fully sequential.")
 
-let with_jobs jobs f =
+let with_jobs ?registry jobs f =
   if jobs < 1 then begin
     Printf.eprintf
       "moldable: option '--jobs': value must be >= 1 (got %d)\nUsage: pass a \
@@ -69,7 +70,42 @@ let with_jobs jobs f =
       jobs;
     exit 2
   end;
-  Pool.with_pool ~jobs f
+  Pool.with_pool ~jobs ?registry f
+
+(* ----------------------------------------------------------- telemetry *)
+
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:
+          "Attach a live telemetry registry to the run and write the merged \
+           snapshot to $(docv) as JSON (schema moldable_obs/snapshot/v1): \
+           simulation counters, allocator Step-1 probe histogram, pool \
+           gauges/latency and GC gauges.  Use the $(b,metrics) subcommand \
+           to pretty-print or convert the snapshot to OpenMetrics.")
+
+let registry_of_telemetry = function
+  | None -> Moldable_obs.Registry.null
+  | Some _ -> Moldable_obs.Registry.create ()
+
+(* Finish a telemetry run: fold the process-GC delta into the registry as
+   gauges, snapshot, and write the JSON document. *)
+let write_telemetry ~registry ~gc_before = function
+  | None -> ()
+  | Some path ->
+    let gc_after = Moldable_obs.Gc_sample.read () in
+    Moldable_obs.Gc_sample.observe registry
+      (Moldable_obs.Gc_sample.diff ~before:gc_before ~after:gc_after);
+    let snap = Moldable_obs.Registry.snapshot registry in
+    let oc = open_out path in
+    output_string oc
+      (Moldable_obs.Json.to_string
+         (Moldable_obs.Registry.snapshot_to_json snap));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" path
 
 let algorithm_conv =
   Arg.enum [ ("original", `Original); ("improved", `Improved) ]
@@ -241,8 +277,10 @@ let theorem9_cmd =
 
 let simulate_cmd =
   let run kind p seed workload n gantt svg load save swf metrics_out algo jobs
-      =
-    with_jobs jobs @@ fun pool ->
+      telemetry =
+    let registry = registry_of_telemetry telemetry in
+    let gc_before = Moldable_obs.Gc_sample.read () in
+    with_jobs ~registry jobs @@ fun pool ->
     let rng = Rng.create seed in
     let dag, releases =
       match (load, swf) with
@@ -281,8 +319,9 @@ let simulate_cmd =
         Printf.eprintf "cannot save %s: %s\n" path e;
         exit 1));
     let result =
-      Engine.run ?release_times:releases ~p
-        (Online_scheduler.policy ~allocator:(allocator_of algo) ~p ())
+      Engine.run ?release_times:releases ~registry ~p
+        (Online_scheduler.policy ~registry ~allocator:(allocator_of algo) ~p
+           ())
         dag
     in
     Validate.check_exn ~pool ~dag result.Engine.schedule;
@@ -308,7 +347,7 @@ let simulate_cmd =
         (Moldable_viz.Gantt.render ~width:100
            ~label:(fun i -> (Dag.task dag i).Task.label)
            result.Engine.schedule);
-    match svg with
+    (match svg with
     | None -> ()
     | Some path ->
       let oc = open_out path in
@@ -317,7 +356,8 @@ let simulate_cmd =
            ~label:(fun i -> (Dag.task dag i).Task.label)
            result.Engine.schedule);
       close_out oc;
-      Printf.printf "wrote %s\n" path
+      Printf.printf "wrote %s\n" path);
+    write_telemetry ~registry ~gc_before telemetry
   in
   let gantt_arg =
     Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.")
@@ -367,7 +407,7 @@ let simulate_cmd =
     Term.(
       const run $ kind_arg $ p_arg 64 $ seed_arg $ workload_arg $ size_arg
       $ gantt_arg $ svg_arg $ load_arg $ save_arg $ swf_arg $ metrics_arg
-      $ algorithm_arg $ jobs_arg)
+      $ algorithm_arg $ jobs_arg $ telemetry_arg)
 
 (* ----------------------------------------------------------------- trace *)
 
@@ -524,8 +564,10 @@ let verify_cmd =
 (* ----------------------------------------------------------------- sweep *)
 
 let sweep_cmd =
-  let run kind p seed reps algo jobs =
-    with_jobs jobs @@ fun pool ->
+  let run kind p seed reps algo jobs telemetry =
+    let registry = registry_of_telemetry telemetry in
+    let gc_before = Moldable_obs.Gc_sample.read () in
+    with_jobs ~registry jobs @@ fun pool ->
     (* All instances are generated before the fan-out, so the sweep result
        is independent of the job count. *)
     let rng = Rng.create seed in
@@ -541,7 +583,8 @@ let sweep_cmd =
     in
     let policies = lead :: List.tl Experiment.default_policies in
     let outcomes =
-      Experiment.evaluate ~pool ~p ~workload:"layered" ~policies dags
+      Experiment.evaluate ~pool ~registry ~p ~workload:"layered" ~policies
+        dags
     in
     let bound =
       (* Power-law graphs carry no guarantee; keep the general-model bound
@@ -551,7 +594,8 @@ let sweep_cmd =
         proven_bound_of algo Speedup.Kind_general
       | k -> proven_bound_of algo k
     in
-    print_string (Report.table ~bound outcomes)
+    print_string (Report.table ~bound outcomes);
+    write_telemetry ~registry ~gc_before telemetry
   in
   let reps_arg =
     Arg.(
@@ -565,7 +609,59 @@ let sweep_cmd =
           random instances.")
     Term.(
       const run $ kind_arg $ p_arg 64 $ seed_arg $ reps_arg $ algorithm_arg
-      $ jobs_arg)
+      $ jobs_arg $ telemetry_arg)
+
+(* --------------------------------------------------------------- metrics *)
+
+let metrics_cmd =
+  let run file openmetrics =
+    let contents =
+      match In_channel.with_open_text file In_channel.input_all with
+      | s -> s
+      | exception Sys_error e ->
+        Printf.eprintf "cannot read %s: %s\n" file e;
+        exit 1
+    in
+    let snap =
+      match Moldable_obs.Json.of_string contents with
+      | Error e ->
+        Printf.eprintf "%s: invalid JSON: %s\n" file e;
+        exit 1
+      | Ok j -> (
+        match Moldable_obs.Registry.snapshot_of_json j with
+        | Error e ->
+          Printf.eprintf "%s: %s\n" file e;
+          exit 1
+        | Ok snap -> snap)
+    in
+    if openmetrics then
+      print_string (Moldable_obs.Openmetrics.of_snapshot snap)
+    else begin
+      let tab = Texttab.create ~headers:Moldable_obs.Registry.row_header in
+      List.iter (Texttab.add_row tab) (Moldable_obs.Registry.to_rows snap);
+      Texttab.print tab
+    end
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Telemetry snapshot written by --telemetry (JSON).")
+  in
+  let openmetrics_arg =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:
+            "Emit the snapshot in OpenMetrics/Prometheus text exposition \
+             format instead of a table.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Pretty-print a telemetry snapshot (or convert it to OpenMetrics).")
+    Term.(const run $ file_arg $ openmetrics_arg)
 
 let () =
   let info =
@@ -576,7 +672,7 @@ let () =
   let group =
     Cmd.group info
       [ table1_cmd; figure_cmd; theorem9_cmd; simulate_cmd; trace_cmd;
-        verify_cmd; sweep_cmd ]
+        verify_cmd; sweep_cmd; metrics_cmd ]
   in
   (* Conventional exit codes: usage errors (unknown subcommand, unknown
      flag, unparsable option value) exit 2, uncaught exceptions 125 —

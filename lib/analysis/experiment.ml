@@ -51,8 +51,8 @@ let run_one ?(validate = true) ~p spec dag =
   let makespan = Schedule.makespan result.Engine.schedule in
   (makespan, makespan /. lb)
 
-let evaluate ?(validate = true) ?(pool = Pool.sequential) ~p ~workload
-    ~policies dags =
+let evaluate ?(validate = true) ?(pool = Pool.sequential)
+    ?(registry = Moldable_obs.Registry.null) ~p ~workload ~policies dags =
   (* Fan out one cell per (policy, instance) pair.  Each cell is a pure
      function of its (pre-built) DAG and policy spec — no shared mutable
      state, no RNG draw after dispatch — so the result array is identical
@@ -66,11 +66,32 @@ let evaluate ?(validate = true) ?(pool = Pool.sequential) ~p ~workload
       (Array.length spec_arr * n_dags)
       (fun c -> (spec_arr.(c / n_dags), dag_arr.(c mod n_dags)))
   in
-  let results =
-    Pool.parallel_map ~chunk:1 pool
-      (fun (spec, dag) -> run_one ~validate ~p spec dag)
-      cells
+  (* Telemetry wraps each cell from the outside (cell count + wall-clock
+     latency histogram); the cell computation itself stays a pure function
+     of its inputs, so outcomes remain identical with or without a
+     registry and at any job count. *)
+  let eval_cell =
+    let module R = Moldable_obs.Registry in
+    if not (R.enabled registry) then fun (spec, dag) ->
+      run_one ~validate ~p spec dag
+    else begin
+      let n_cells =
+        R.counter registry ~name:"moldable_sweep_cells"
+          ~help:"Sweep cells (policy x instance pairs) evaluated"
+      in
+      let cell_h =
+        R.histogram registry ~name:"moldable_sweep_cell_seconds"
+          ~help:"Wall-clock seconds per sweep cell"
+      in
+      fun (spec, dag) ->
+        let t0 = Clock.now () in
+        let r = run_one ~validate ~p spec dag in
+        R.incr n_cells;
+        R.observe cell_h (Clock.now () -. t0);
+        r
+    end
   in
+  let results = Pool.parallel_map ~chunk:1 pool eval_cell cells in
   List.mapi
     (fun i spec ->
       let pairs = List.init n_dags (fun j -> results.((i * n_dags) + j)) in

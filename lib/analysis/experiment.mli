@@ -35,14 +35,20 @@ val default_policies : policy_spec list
 (** Algorithm 1 plus the {!Moldable_core.Baselines}. *)
 
 val evaluate :
-  ?validate:bool -> ?pool:Pool.t -> p:int -> workload:string ->
+  ?validate:bool -> ?pool:Pool.t -> ?registry:Moldable_obs.Registry.t ->
+  p:int -> workload:string ->
   policies:policy_spec list -> Dag.t list -> outcome list
 (** Runs every policy over every graph.  With [validate] (default true)
     every schedule is checked by {!Moldable_sim.Validate} and a failure
     raises.  [pool] (default {!Moldable_util.Pool.sequential}) fans the
     (policy, instance) cells out over its domains; every cell is a pure
     function of its inputs, so the outcomes are bit-for-bit identical at
-    any job count. *)
+    any job count.
+
+    [registry] (default {!Moldable_obs.Registry.null}) counts evaluated
+    cells ([moldable_sweep_cells]) and records a per-cell wall-clock
+    latency histogram ([moldable_sweep_cell_seconds]); the telemetry wraps
+    each cell from the outside, so outcomes are unchanged. *)
 
 val run_one : ?validate:bool -> p:int -> policy_spec -> Dag.t -> float * float
 (** [(makespan, ratio)] for one instance. *)

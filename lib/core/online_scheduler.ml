@@ -10,20 +10,31 @@ module Prefix_min = Moldable_util.Prefix_min
    answer that ends every scheduling instant.  Every priority rule ends in
    a seq tie-break, so the order is total and the extraction order matches
    the seed's sorted-list scan exactly. *)
-let policy ?(priority = Priority.fifo) ?(tracer = Tracer.null) ~allocator ~p
-    () =
+let policy ?(priority = Priority.fifo) ?(tracer = Tracer.null)
+    ?(registry = Moldable_obs.Registry.null) ~allocator ~p () =
   let cache = Task.Cache.create ~p in
   let ready : Priority.item Prefix_min.t =
     Prefix_min.create ~k:p ~cmp:priority.Priority.compare
   in
   let next_seq = ref 0 in
   let traced = Tracer.enabled tracer in
+  (* Step-1 probe counts (candidate allotments scanned per allocation
+     decision, the same count the tracer's provenance carries) feed a
+     registry histogram when a live registry is attached. *)
+  let probes =
+    let module R = Moldable_obs.Registry in
+    if not (R.enabled registry) then None
+    else
+      Some
+        (R.histogram registry ~name:"moldable_alloc_step1_probes"
+           ~help:
+             "Step-1 candidate allotments probed per allocation decision")
+  in
   (* Decision provenance: one record per task (re-reveals after failed
      attempts are deduplicated by the tracer), carrying the Step-1/Step-2
      quantities of Algorithm 2 plus the alpha/beta ratios at p_star and at
      the final allocation. *)
-  let record_decision task (a : Task.analyzed) =
-    let d = allocator.Allocator.explain a in
+  let record_decision task (a : Task.analyzed) (d : Allocator.decision) =
     Tracer.record_decision tracer
       {
         Tracer.task_id = task.Task.id;
@@ -57,7 +68,15 @@ let policy ?(priority = Priority.fifo) ?(tracer = Tracer.null) ~allocator ~p
             allocator.Allocator.allocate_analyzed a)
       else allocator.Allocator.allocate_analyzed a
     in
-    if traced then record_decision task a;
+    (if traced || Option.is_some probes then begin
+       let d = allocator.Allocator.explain a in
+       if traced then record_decision task a d;
+       match probes with
+       | Some h ->
+         Moldable_obs.Registry.observe h
+           (float_of_int d.Allocator.candidates_scanned)
+       | None -> ()
+     end);
     let item =
       {
         Priority.task;
@@ -144,28 +163,32 @@ let policy_reference ?(priority = Priority.fifo) ~allocator ~p () =
   }
 
 let run ?priority ?(allocator = Allocator.algorithm2_per_model) ?release_times
-    ~p dag =
-  Engine.run ?release_times ~p (policy ?priority ~allocator ~p ()) dag
+    ?registry ~p dag =
+  Engine.run ?release_times ?registry ~p
+    (policy ?priority ?registry ~allocator ~p ())
+    dag
 
 (* Full access to the unified core: release times, failure injection,
    decision-level tracing and the instrumented result in one call. *)
 let run_instrumented ?priority ?(allocator = Allocator.algorithm2_per_model)
-    ?release_times ?seed ?max_attempts ?failures ?tracer ~p dag =
-  Sim_core.run ?release_times ?seed ?max_attempts ?failures ?tracer ~p
-    (policy ?priority ?tracer ~allocator ~p ())
+    ?release_times ?seed ?max_attempts ?failures ?tracer ?registry ~p dag =
+  Sim_core.run ?release_times ?seed ?max_attempts ?failures ?tracer ?registry
+    ~p
+    (policy ?priority ?tracer ?registry ~allocator ~p ())
     dag
 
 (* The improved algorithm (arXiv:2304.14127) as a first-class policy: the
    same list scheduler over the refined two-phase allocator, so every
    engine, tracer and report that accepts a policy or an allocator runs it
    transparently. *)
-let run_improved ?priority ?release_times ~p dag =
-  run ?priority ~allocator:Improved_alloc.per_model ?release_times ~p dag
+let run_improved ?priority ?release_times ?registry ~p dag =
+  run ?priority ~allocator:Improved_alloc.per_model ?release_times ?registry
+    ~p dag
 
 let run_improved_instrumented ?priority ?release_times ?seed ?max_attempts
-    ?failures ?tracer ~p dag =
+    ?failures ?tracer ?registry ~p dag =
   run_instrumented ?priority ~allocator:Improved_alloc.per_model
-    ?release_times ?seed ?max_attempts ?failures ?tracer ~p dag
+    ?release_times ?seed ?max_attempts ?failures ?tracer ?registry ~p dag
 
 let makespan ?priority ?allocator ~p dag =
   Schedule.makespan (run ?priority ?allocator ~p dag).Engine.schedule

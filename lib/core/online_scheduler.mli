@@ -14,7 +14,8 @@ open Moldable_graph
 open Moldable_sim
 
 val policy :
-  ?priority:Priority.t -> ?tracer:Tracer.t -> allocator:Allocator.t ->
+  ?priority:Priority.t -> ?tracer:Tracer.t ->
+  ?registry:Moldable_obs.Registry.t -> allocator:Allocator.t ->
   p:int -> unit -> Engine.policy
 (** Fresh, stateful policy for one run.  Default priority is {!Priority.fifo}
     (the paper's algorithm).
@@ -25,6 +26,13 @@ val policy :
     charges the policy's hot-path phases ([analyze], [allocator],
     [ready-queue]) to the tracer's self-profile clock.  Tracing never
     changes the schedule.
+
+    [registry] (default {!Moldable_obs.Registry.null}) feeds the
+    [moldable_alloc_step1_probes] histogram — the candidate allotments
+    scanned by the allocator's Step-1 search, one sample per allocation
+    decision (both the original and the improved allocator go through the
+    shared counted Step-1 engine).  Attaching a registry never changes the
+    schedule.
 
     The waiting queue is a {!Moldable_util.Prefix_min} — per-allocation
     heap buckets under a segment tree caching priority minima — so "first
@@ -45,14 +53,16 @@ val policy_reference :
 
 val run :
   ?priority:Priority.t -> ?allocator:Allocator.t ->
-  ?release_times:float array -> p:int -> Dag.t -> Engine.result
+  ?release_times:float array -> ?registry:Moldable_obs.Registry.t ->
+  p:int -> Dag.t -> Engine.result
 (** One-shot: build the policy (allocator defaults to
     {!Allocator.algorithm2_per_model}) and simulate it. *)
 
 val run_instrumented :
   ?priority:Priority.t -> ?allocator:Allocator.t ->
   ?release_times:float array -> ?seed:int -> ?max_attempts:int ->
-  ?failures:Sim_core.failure_model -> ?tracer:Tracer.t -> p:int -> Dag.t ->
+  ?failures:Sim_core.failure_model -> ?tracer:Tracer.t ->
+  ?registry:Moldable_obs.Registry.t -> p:int -> Dag.t ->
   Sim_core.result
 (** Algorithm 1 on the unified core with every knob exposed: release times,
     failure injection (default {!Sim_core.never}), decision-level tracing
@@ -61,7 +71,8 @@ val run_instrumented :
     {!Sim_core.result} (schedule, trace, attempts and {!Metrics.t}). *)
 
 val run_improved :
-  ?priority:Priority.t -> ?release_times:float array -> p:int -> Dag.t ->
+  ?priority:Priority.t -> ?release_times:float array ->
+  ?registry:Moldable_obs.Registry.t -> p:int -> Dag.t ->
   Engine.result
 (** {!run} with the improved allocator {!Improved_alloc.per_model} — the
     refined algorithm of arXiv:2304.14127 as a first-class policy. *)
@@ -69,7 +80,8 @@ val run_improved :
 val run_improved_instrumented :
   ?priority:Priority.t -> ?release_times:float array -> ?seed:int ->
   ?max_attempts:int -> ?failures:Sim_core.failure_model ->
-  ?tracer:Tracer.t -> p:int -> Dag.t -> Sim_core.result
+  ?tracer:Tracer.t -> ?registry:Moldable_obs.Registry.t -> p:int -> Dag.t ->
+  Sim_core.result
 (** {!run_instrumented} with {!Improved_alloc.per_model}: the improved
     policy under the unified core with tracer provenance, failure
     injection and the instrumented result. *)

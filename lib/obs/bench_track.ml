@@ -1,0 +1,217 @@
+(* Noise-aware bench-regression tracking.
+
+   Bench appends one row per section to paper_artifacts/BENCH_history.jsonl
+   (one compact JSON object per line, O_APPEND so the perf trajectory
+   accumulates across runs instead of being overwritten like
+   BENCH_scaling.json), and `bench --baseline FILE` compares the current
+   rows against a committed baseline.  A section is flagged only when the
+   slowdown clears both an absolute-fraction floor and a noise band derived
+   from the median absolute deviation of the repetitions:
+
+     current - base > max(0.10 * base, 3 * max(base_mad, current_mad)). *)
+
+type row = {
+  section : string;
+  reps : int;
+  median_s : float;
+  mad_s : float;
+  jobs : int;
+  at : float; (* unix time of the run; 0. when unavailable *)
+  minor_words : float; (* per-section GC delta *)
+  major_words : float;
+}
+
+let schema = "moldable_obs/bench_row/v1"
+
+let row_to_json r =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("section", Json.Str r.section);
+      ("reps", Json.Num (float_of_int r.reps));
+      ("median_s", Json.Num r.median_s);
+      ("mad_s", Json.Num r.mad_s);
+      ("jobs", Json.Num (float_of_int r.jobs));
+      ("at", Json.Num r.at);
+      ("minor_words", Json.Num r.minor_words);
+      ("major_words", Json.Num r.major_words);
+    ]
+
+let row_of_json j =
+  let ( let* ) o f = match o with Some x -> f x | None -> None in
+  let num k = Option.bind (Json.member k j) Json.to_float in
+  let* section = Option.bind (Json.member "section" j) Json.to_str in
+  let* median_s = num "median_s" in
+  let* mad_s = num "mad_s" in
+  let reps =
+    Option.value ~default:1 (Option.bind (Json.member "reps" j) Json.to_int)
+  in
+  let jobs =
+    Option.value ~default:1 (Option.bind (Json.member "jobs" j) Json.to_int)
+  in
+  let at = Option.value ~default:0. (num "at") in
+  let minor_words = Option.value ~default:0. (num "minor_words") in
+  let major_words = Option.value ~default:0. (num "major_words") in
+  Some { section; reps; median_s; mad_s; jobs; at; minor_words; major_words }
+
+(* ------------------------------------------------------- history (JSONL) *)
+
+let append_history ~path rows =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun r ->
+          output_string oc (Json.to_string_compact (row_to_json r));
+          output_char oc '\n')
+        rows)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let read_history ~path =
+  match read_lines path with
+  | exception Sys_error msg -> Error msg
+  | lines ->
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest ->
+        let line' = String.trim line in
+        if line' = "" then go (i + 1) acc rest
+        else begin
+          match Json.of_string line' with
+          | Error msg -> Error (Printf.sprintf "line %d: %s" i msg)
+          | Ok j -> begin
+            match row_of_json j with
+            | None -> Error (Printf.sprintf "line %d: malformed row" i)
+            | Some r -> go (i + 1) (r :: acc) rest
+          end
+        end
+    in
+    go 1 [] lines
+
+(* ------------------------------------------------------------- baseline *)
+
+let baseline_schema = "moldable_obs/bench_baseline/v1"
+
+let baseline_to_json rows =
+  Json.Obj
+    [
+      ("schema", Json.Str baseline_schema);
+      ("rows", Json.List (List.map row_to_json rows));
+    ]
+
+let read_baseline ~path =
+  let contents =
+    match read_lines path with
+    | exception Sys_error msg -> Error msg
+    | lines -> Ok (String.concat "\n" lines)
+  in
+  match contents with
+  | Error msg -> Error msg
+  | Ok s -> begin
+    match Json.of_string s with
+    | Error msg -> Error msg
+    | Ok j -> begin
+      match Option.bind (Json.member "schema" j) Json.to_str with
+      | Some sch when sch = baseline_schema -> begin
+        match Option.bind (Json.member "rows" j) Json.to_list with
+        | None -> Error "baseline: missing \"rows\" array"
+        | Some rs -> begin
+          let parsed = List.map row_of_json rs in
+          if List.exists Option.is_none parsed then
+            Error "baseline: malformed row"
+          else Ok (List.filter_map Fun.id parsed)
+        end
+      end
+      | Some sch -> Error (Printf.sprintf "baseline: unknown schema %S" sch)
+      | None -> Error "baseline: missing \"schema\" field"
+    end
+  end
+
+(* ------------------------------------------------------------ comparison *)
+
+let rel_floor = 0.10
+let mad_sigmas = 3.
+
+let threshold ~base ~mad = Float.max (rel_floor *. base) (mad_sigmas *. mad)
+
+type verdict = {
+  v_section : string;
+  base_median : float;
+  cur_median : float;
+  base_mad : float;
+  cur_mad : float;
+  ratio : float;
+  allowed_over : float; (* absolute slowdown allowance in seconds *)
+  regressed : bool;
+}
+
+let compare_rows ~baseline ~current =
+  List.filter_map
+    (fun (cur : row) ->
+      match
+        List.find_opt (fun (b : row) -> b.section = cur.section) baseline
+      with
+      | None -> None
+      | Some base ->
+        let mad = Float.max base.mad_s cur.mad_s in
+        let allowed = threshold ~base:base.median_s ~mad in
+        let slowdown = cur.median_s -. base.median_s in
+        Some
+          {
+            v_section = cur.section;
+            base_median = base.median_s;
+            cur_median = cur.median_s;
+            base_mad = base.mad_s;
+            cur_mad = cur.mad_s;
+            ratio =
+              (if base.median_s > 0. then cur.median_s /. base.median_s
+               else Float.nan);
+            allowed_over = allowed;
+            regressed = slowdown > allowed;
+          })
+    current
+
+let regressions verdicts = List.filter (fun v -> v.regressed) verdicts
+
+let verdict_to_json v =
+  Json.Obj
+    [
+      ("section", Json.Str v.v_section);
+      ("base_median_s", Json.Num v.base_median);
+      ("current_median_s", Json.Num v.cur_median);
+      ("base_mad_s", Json.Num v.base_mad);
+      ("current_mad_s", Json.Num v.cur_mad);
+      ( "ratio",
+        if Float.is_finite v.ratio then Json.Num v.ratio else Json.Null );
+      ("allowed_over_s", Json.Num v.allowed_over);
+      ("regressed", Json.Bool v.regressed);
+    ]
+
+let report verdicts =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "%-28s %12s %12s %8s %9s  %s\n" "section" "base(s)"
+    "current(s)" "ratio" "allow(s)" "verdict";
+  List.iter
+    (fun v ->
+      Printf.bprintf buf "%-28s %12.6f %12.6f %8s %9.6f  %s\n" v.v_section
+        v.base_median v.cur_median
+        (if Float.is_finite v.ratio then Printf.sprintf "%.3f" v.ratio
+         else "-")
+        v.allowed_over
+        (if v.regressed then "REGRESSED" else "ok"))
+    verdicts;
+  Buffer.contents buf

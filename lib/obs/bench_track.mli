@@ -1,0 +1,60 @@
+(** Noise-aware bench-regression tracking.
+
+    Bench appends one {!row} per section to
+    [paper_artifacts/BENCH_history.jsonl] (compact JSON per line, opened
+    with [O_APPEND] so the perf trajectory accumulates across runs), and
+    [bench --baseline FILE] compares current rows against a committed
+    baseline.  A section regresses only when the slowdown clears both a
+    10% floor and a 3-sigma noise band:
+
+    [current - base > max(0.10 * base, 3 * max(base_mad, current_mad))]. *)
+
+type row = {
+  section : string;
+  reps : int;  (** timing repetitions the median was taken over *)
+  median_s : float;
+  mad_s : float;  (** median absolute deviation of the repetitions *)
+  jobs : int;
+  at : float;  (** unix time of the run; [0.] when unavailable *)
+  minor_words : float;  (** per-section GC delta *)
+  major_words : float;
+}
+
+val row_to_json : row -> Json.t
+val row_of_json : Json.t -> row option
+
+val append_history : path:string -> row list -> unit
+(** Append rows to a JSONL history file, creating it if missing. *)
+
+val read_history : path:string -> (row list, string) result
+
+val baseline_to_json : row list -> Json.t
+(** Schema ["moldable_obs/bench_baseline/v1"]: [{"schema": ..., "rows":
+    [...]}]. *)
+
+val read_baseline : path:string -> (row list, string) result
+
+val threshold : base:float -> mad:float -> float
+(** Allowed absolute slowdown in seconds: [max (0.10 *. base) (3. *. mad)]. *)
+
+type verdict = {
+  v_section : string;
+  base_median : float;
+  cur_median : float;
+  base_mad : float;
+  cur_mad : float;
+  ratio : float;  (** NaN when the baseline median is zero *)
+  allowed_over : float;
+  regressed : bool;
+}
+
+val compare_rows : baseline:row list -> current:row list -> verdict list
+(** One verdict per current row whose section exists in the baseline;
+    sections absent from the baseline are skipped (new sections are not
+    regressions). *)
+
+val regressions : verdict list -> verdict list
+val verdict_to_json : verdict -> Json.t
+
+val report : verdict list -> string
+(** Human-readable comparison table. *)

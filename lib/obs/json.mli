@@ -1,0 +1,36 @@
+(** Minimal self-contained JSON tree, printer and recursive-descent parser.
+
+    The telemetry subsystem must stay dependency-free (the registry sits
+    below every other library in the stack), so this is a small hand-rolled
+    JSON implementation covering exactly what snapshots, baselines and the
+    bench-history rows need: finite numbers, strings with the standard
+    escapes, arrays and objects.  Non-finite floats render as [null],
+    matching the convention of [Moldable_sim.Metrics.to_json]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-escape the argument (no surrounding quotes). *)
+
+val to_string : t -> string
+(** Pretty-print with two-space indentation and a deterministic layout. *)
+
+val to_string_compact : t -> string
+(** Single-line rendering, used for JSONL rows. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; the error carries a byte offset. *)
+
+(** Accessors returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option

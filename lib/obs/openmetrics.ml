@@ -1,0 +1,63 @@
+(* OpenMetrics text exposition of a registry snapshot.
+
+   Follows the OpenMetrics 1.0 text format: one `# HELP` / `# TYPE` pair
+   per metric family, counters exposed with the `_total` sample suffix,
+   histograms as cumulative `_bucket{le="..."}` series ending in
+   `le="+Inf"` plus `_sum` / `_count`, and a final `# EOF` line. *)
+
+let fmt_float x =
+  if Float.is_nan x then "NaN"
+  else if x = Float.infinity then "+Inf"
+  else if x = Float.neg_infinity then "-Inf"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_metric buf (ms : Registry.metric_snap) =
+  let name = ms.Registry.ms_name in
+  let help = escape_help ms.Registry.ms_help in
+  match ms.Registry.ms_value with
+  | Registry.Counter_v v ->
+    Printf.bprintf buf "# HELP %s %s\n" name help;
+    Printf.bprintf buf "# TYPE %s counter\n" name;
+    Printf.bprintf buf "%s_total %s\n" name (fmt_float v)
+  | Registry.Gauge_v v ->
+    Printf.bprintf buf "# HELP %s %s\n" name help;
+    Printf.bprintf buf "# TYPE %s gauge\n" name;
+    Printf.bprintf buf "%s %s\n" name (fmt_float v)
+  | Registry.Hist_v h ->
+    Printf.bprintf buf "# HELP %s %s\n" name help;
+    Printf.bprintf buf "# TYPE %s histogram\n" name;
+    let last_cum =
+      List.fold_left
+        (fun _ (le, cum) ->
+          Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" name (fmt_float le)
+            cum;
+          (le, cum))
+        (Float.neg_infinity, 0) h.Registry.buckets
+    in
+    (* the +Inf bucket is mandatory even when no sample overflowed *)
+    (match last_cum with
+    | le, _ when le = Float.infinity -> ()
+    | _ ->
+      Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" name
+        h.Registry.count);
+    if Float.is_finite h.Registry.sum then
+      Printf.bprintf buf "%s_sum %s\n" name (fmt_float h.Registry.sum);
+    Printf.bprintf buf "%s_count %d\n" name h.Registry.count
+
+let of_snapshot snap =
+  let buf = Buffer.create 4096 in
+  List.iter (add_metric buf) snap;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf

@@ -1,0 +1,8 @@
+(** OpenMetrics / Prometheus text exposition of a registry snapshot.
+
+    Counters are exposed with the [_total] sample suffix, histograms as
+    cumulative [_bucket{le="..."}] series (always ending in [le="+Inf"])
+    plus [_sum] and [_count]; the document terminates with [# EOF].  The
+    exposed names and the schema are documented in EXPERIMENTS.md. *)
+
+val of_snapshot : Registry.snapshot -> string

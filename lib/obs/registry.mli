@@ -1,0 +1,122 @@
+(** Process-wide telemetry registry: typed counters, gauges and log-linear
+    histograms, sharded per domain and merged at snapshot time.
+
+    The registry mirrors the [Moldable_sim.Tracer] null contract: {!null} is
+    the default everywhere, handles created against it carry no metric, and
+    every record operation on such a handle is a single branch — a
+    null-registry run is schedule-identical to an unobserved run (proven by
+    qcheck in [test/test_obs.ml]).
+
+    Recording is safe from [Moldable_util.Pool] workers: each domain writes
+    only its own shard, so the hot path takes no lock; {!snapshot} merges
+    shards under the metric mutex. *)
+
+type t
+(** A registry (or the inert {!null}). *)
+
+val null : t
+(** The inert registry: registration returns no-op handles, {!snapshot}
+    returns the empty list. *)
+
+val create : unit -> t
+(** A fresh, live registry. *)
+
+val enabled : t -> bool
+(** [false] exactly for {!null}. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : t -> name:string -> help:string -> counter
+(** Register (or fetch, if [name] is already registered as a counter) a
+    monotonically increasing counter.  Raises [Invalid_argument] if [name]
+    is malformed (must match [[a-zA-Z_:][a-zA-Z0-9_:]*]) or already
+    registered with a different kind. *)
+
+val gauge : t -> name:string -> help:string -> gauge
+(** Register a gauge.  Same idempotence and error contract as {!counter}. *)
+
+val histogram : t -> name:string -> help:string -> histogram
+(** Register a log-linear histogram.  Same contract as {!counter}. *)
+
+val incr : counter -> unit
+val incr_by : counter -> float -> unit
+(** Raises [Invalid_argument] on a negative increment (live handles only). *)
+
+val set : gauge -> float -> unit
+(** Last set wins across domains (ordered by a registry-global stamp). *)
+
+val add : gauge -> float -> unit
+(** Additive gauge contribution, summed across domains on top of the last
+    {!set} value; use for up/down occupancy counts (e.g. domains busy). *)
+
+val observe : histogram -> float -> unit
+(** Record a sample.  NaN samples are dropped; infinities land in the
+    overflow bucket, zeros and negatives in the underflow bucket. *)
+
+(** {1 Snapshots} *)
+
+type hist_snap = {
+  count : int;
+  sum : float;
+  hmin : float;  (** NaN when empty *)
+  hmax : float;  (** NaN when empty *)
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  buckets : (float * int) list;
+      (** (upper bound, cumulative count) for each nonempty bucket, in
+          increasing bound order; the overflow bucket's bound is [infinity]. *)
+}
+
+type value = Counter_v of float | Gauge_v of float | Hist_v of hist_snap
+
+type metric_snap = { ms_name : string; ms_help : string; ms_value : value }
+type snapshot = metric_snap list
+
+val snapshot : t -> snapshot
+(** Merge all shards of all metrics, in registration order.  Safe to call
+    concurrently with recording; recording continues unaffected.  Empty for
+    {!null}. *)
+
+val snapshot_to_json : snapshot -> Json.t
+(** Schema ["moldable_obs/snapshot/v1"]; see EXPERIMENTS.md. *)
+
+val snapshot_of_json : Json.t -> (snapshot, string) result
+
+val to_rows : snapshot -> string list list
+(** One row per metric ([name; kind; value; quantiles; help]), for
+    [Moldable_util.Texttab]-style rendering in the CLI. *)
+
+val row_header : string list
+
+(** {1 Log-linear bucket geometry}
+
+    Exposed for the histogram-correctness qcheck properties. *)
+
+module Hist : sig
+  val sub : int
+  (** Linear sub-buckets per power-of-two binade (8, so every regular
+      bucket's relative width is at most 12.5%). *)
+
+  val nbuckets : int
+  val min_regular : float
+  val max_regular : float
+
+  val index : float -> int
+  (** Total on non-NaN floats: bucket 0 is underflow, [nbuckets - 1]
+      overflow. *)
+
+  val lower_bound : int -> float
+  val upper_bound : int -> float
+
+  val merge : int array -> int array -> int array
+  (** Pointwise sum; raises [Invalid_argument] on length mismatch. *)
+
+  val quantile :
+    ?min_seen:float -> ?max_seen:float -> int array -> float -> float
+  (** Nearest-rank quantile estimate over a bucket array, interpolated
+      within the bucket and clamped to [[min_seen, max_seen]].  NaN on an
+      empty array; raises [Invalid_argument] if [q] is outside [[0, 1]]. *)
+end

@@ -17,8 +17,11 @@ type result = {
 (* The failure-free engine is the unified core instantiated with the [never]
    failure model; only the trace needs mapping, because a failure-free run
    cannot contain [Failed] events. *)
-let run ?release_times ~p policy dag =
-  let r = Sim_core.run ?release_times ~failures:Sim_core.never ~p policy dag in
+let run ?release_times ?registry ~p policy dag =
+  let r =
+    Sim_core.run ?release_times ?registry ~failures:Sim_core.never ~p policy
+      dag
+  in
   let trace =
     List.map
       (fun (time, ev) ->

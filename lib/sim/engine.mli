@@ -45,7 +45,13 @@ type result = {
   metrics : Metrics.t;  (** Run counters, utilization and queue timelines. *)
 }
 
-val run : ?release_times:float array -> p:int -> policy -> Dag.t -> result
+val run :
+  ?release_times:float array ->
+  ?registry:Moldable_obs.Registry.t ->
+  p:int ->
+  policy ->
+  Dag.t ->
+  result
 (** Simulates the policy on the graph with [p] processors.
 
     [release_times], when given (indexed by task id, non-negative, length
@@ -53,6 +59,9 @@ val run : ?release_times:float array -> p:int -> policy -> Dag.t -> result
     the maximum of its release time and the completion of its last
     predecessor.  With an edgeless graph this is exactly the online
     independent-tasks-over-time model the paper's conclusion mentions.
+
+    [registry] (default {!Moldable_obs.Registry.null}) receives the run
+    counters; see {!Sim_core.run}.
 
     @raise Policy_error as documented above.
     @raise Invalid_argument on ill-formed release times. *)

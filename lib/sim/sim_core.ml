@@ -71,7 +71,8 @@ type sim_event =
   | Reveal of int
 
 let run ?release_times ?(seed = 0) ?(max_attempts = max_int)
-    ?(failures = never) ?(tracer = Tracer.null) ~p policy dag =
+    ?(failures = never) ?(tracer = Tracer.null)
+    ?(registry = Moldable_obs.Registry.null) ~p policy dag =
   let n = Dag.n dag in
   (* One branch per hook when tracing is off: [traced] is read once here and
      every tracer call below is guarded by it, so [Tracer.null] runs do no
@@ -292,6 +293,27 @@ let run ?release_times ?(seed = 0) ?(max_attempts = max_int)
     Metrics.build ~p ~counters ~queue_depth:(List.rev !depth_samples) ~tasks
       ~spans
   in
+  (* Publish the run counters to an attached telemetry registry in one shot:
+     the totals are identical to incrementing per event, and the hot loop
+     stays untouched (a [Registry.null] run skips this block entirely). *)
+  (let module R = Moldable_obs.Registry in
+   if R.enabled registry then begin
+     let c name help v =
+       R.incr_by (R.counter registry ~name ~help) (float_of_int v)
+     in
+     c "moldable_sim_events" "Simulation events processed"
+       counters.Metrics.events;
+     c "moldable_sim_batches" "Simultaneous-completion batches processed"
+       counters.Metrics.batches;
+     c "moldable_sim_launches" "Task attempts launched"
+       counters.Metrics.launches;
+     c "moldable_sim_retries" "Failed attempts re-queued for retry"
+       counters.Metrics.retries;
+     c "moldable_sim_stall_checks"
+       "Launch rounds the policy ended by declining to launch"
+       counters.Metrics.stall_checks;
+     c "moldable_sim_runs" "Completed simulation runs" 1
+   end);
   {
     schedule;
     trace = List.rev !trace;

@@ -91,6 +91,7 @@ val run :
   ?max_attempts:int ->
   ?failures:failure_model ->
   ?tracer:Tracer.t ->
+  ?registry:Moldable_obs.Registry.t ->
   p:int ->
   policy ->
   Dag.t ->
@@ -110,6 +111,14 @@ val run :
     self-profile timers ([event-loop], [launch-round]); tracing never
     affects the schedule, and a [Tracer.null] run performs no tracing work
     beyond one branch per hook.
+
+    [registry] (default {!Moldable_obs.Registry.null}, i.e. off) receives
+    the run's counters as process-wide telemetry — [moldable_sim_events],
+    [moldable_sim_batches], [moldable_sim_launches], [moldable_sim_retries],
+    [moldable_sim_stall_checks] and [moldable_sim_runs] — published once at
+    the end of the run (totals identical to per-event increments), so
+    attaching a registry never touches the hot loop and never affects the
+    schedule.
 
     @raise Policy_error on policy misbehaviour.
     @raise Invalid_argument on ill-formed release times or [max_attempts].

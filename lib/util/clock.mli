@@ -7,11 +7,17 @@
     and the longest single call under its name.  The simulation tracer
     ({!Moldable_sim.Tracer}) threads one of these through the event loop and
     the allocator so hot-path regressions show up in the run's self-profile
-    without an external profiler. *)
+    without an external profiler.
+
+    Timers are safe under {!Moldable_util.Pool}: accumulation is sharded per
+    domain (each domain writes only its own shard) and {!timing} /
+    {!timings} merge the shards on read, so concurrent sections charging the
+    same name from different workers cannot lose updates. *)
 
 val now : unit -> float
 (** Wall-clock seconds, guaranteed non-decreasing across calls within the
-    process. *)
+    process (the high-water mark is maintained atomically, so the guarantee
+    holds across domains). *)
 
 type timing = {
   calls : int;    (** Number of intervals recorded under the name. *)

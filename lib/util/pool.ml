@@ -18,12 +18,21 @@ type job = {
       (* first captured exception; guarded by the pool mutex *)
 }
 
+(* Telemetry handles, present only when the pool was created against a live
+   registry — [None] keeps the uninstrumented hot path branch-free. *)
+type obs = {
+  o_depth : Moldable_obs.Registry.gauge; (* chunks not yet claimed *)
+  o_busy : Moldable_obs.Registry.gauge; (* domains inside a chunk body *)
+  o_latency : Moldable_obs.Registry.histogram; (* seconds per chunk body *)
+}
+
 type t = {
   jobs : int;
   mutex : Mutex.t;
   work : Condition.t; (* a job was installed, or the pool closed *)
   finished : Condition.t; (* the current job completed its last chunk *)
   submit : Mutex.t; (* serializes bulk operations *)
+  obs : obs option;
   mutable current : job option;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
@@ -42,13 +51,26 @@ let exec_chunks t job =
     if c < job.n_chunks then begin
       (* Benign race on [failed]: at worst a chunk runs after a failure
          elsewhere; its results are discarded by the re-raise anyway. *)
-      (if Option.is_none job.failed then
-         try job.body (c * job.chunk) (min job.total ((c + 1) * job.chunk))
-         with e ->
-           let bt = Printexc.get_raw_backtrace () in
-           Mutex.lock t.mutex;
-           if Option.is_none job.failed then job.failed <- Some (e, bt);
-           Mutex.unlock t.mutex);
+      (if Option.is_none job.failed then begin
+         let run () =
+           try job.body (c * job.chunk) (min job.total ((c + 1) * job.chunk))
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             Mutex.lock t.mutex;
+             if Option.is_none job.failed then job.failed <- Some (e, bt);
+             Mutex.unlock t.mutex
+         in
+         match t.obs with
+         | None -> run ()
+         | Some o ->
+           let module R = Moldable_obs.Registry in
+           R.set o.o_depth (float_of_int (max 0 (job.n_chunks - c - 1)));
+           R.add o.o_busy 1.;
+           let t0 = Unix.gettimeofday () in
+           run ();
+           R.observe o.o_latency (Unix.gettimeofday () -. t0);
+           R.add o.o_busy (-1.)
+       end);
       Mutex.lock t.mutex;
       job.completed <- job.completed + 1;
       if job.completed = job.n_chunks then Condition.broadcast t.finished;
@@ -80,8 +102,25 @@ let worker_loop t =
   in
   loop ()
 
-let create ?(jobs = 1) () =
+let create ?(jobs = 1) ?(registry = Moldable_obs.Registry.null) () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let obs =
+    let module R = Moldable_obs.Registry in
+    if not (R.enabled registry) then None
+    else
+      Some
+        {
+          o_depth =
+            R.gauge registry ~name:"moldable_pool_queue_depth"
+              ~help:"Work-queue chunks not yet claimed by a domain";
+          o_busy =
+            R.gauge registry ~name:"moldable_pool_domains_busy"
+              ~help:"Domains currently executing a chunk body";
+          o_latency =
+            R.histogram registry ~name:"moldable_pool_task_latency_seconds"
+              ~help:"Wall-clock seconds per claimed chunk of pool work";
+        }
+  in
   let t =
     {
       jobs;
@@ -89,6 +128,7 @@ let create ?(jobs = 1) () =
       work = Condition.create ();
       finished = Condition.create ();
       submit = Mutex.create ();
+      obs;
       current = None;
       closed = false;
       workers = [];
@@ -109,8 +149,8 @@ let shutdown t =
   Mutex.unlock t.mutex;
   List.iter Domain.join ws
 
-let with_pool ?jobs f =
-  let t = create ?jobs () in
+let with_pool ?jobs ?registry f =
+  let t = create ?jobs ?registry () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 (* Runs [body] over item indices [0, total) on the pool; caller participates. *)

@@ -31,9 +31,15 @@ val sequential : t
 (** A shared [jobs = 1] pool: no domains, pure sequential execution.  The
     default for every [?pool] argument in the repository. *)
 
-val create : ?jobs:int -> unit -> t
+val create : ?jobs:int -> ?registry:Moldable_obs.Registry.t -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains (the caller of a bulk
     operation participates as the [jobs]-th worker).  [jobs] defaults to 1.
+
+    When [registry] is a live registry (default {!Moldable_obs.Registry.null}
+    — no overhead), the pool publishes [moldable_pool_queue_depth] (chunks
+    not yet claimed), [moldable_pool_domains_busy] (domains inside a chunk
+    body) and the [moldable_pool_task_latency_seconds] histogram (wall-clock
+    seconds per claimed chunk).
     @raise Invalid_argument if [jobs < 1]. *)
 
 val jobs : t -> int
@@ -59,6 +65,7 @@ val shutdown : t -> unit
 (** Joins the worker domains.  Idempotent; subsequent bulk operations raise
     [Invalid_argument].  [shutdown sequential] is a no-op. *)
 
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?jobs:int -> ?registry:Moldable_obs.Registry.t -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down on the
     way out (also on exceptions). *)

@@ -34,12 +34,13 @@ let stddev xs =
     let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
     sqrt (sq /. float_of_int (List.length xs - 1))
 
-let percentile q xs =
+let quantile q xs =
   match xs with
-  | [] -> invalid_arg "Stats.percentile: empty sample"
+  | [] -> invalid_arg "Stats.quantile: empty sample"
   | _ ->
-    if q < 0. || q > 1. then invalid_arg "Stats.percentile: q out of [0,1]";
-    check_finite "Stats.percentile" xs;
+    if not (Float.is_finite q) || q < 0. || q > 1. then
+      invalid_arg "Stats.quantile: q out of [0,1]";
+    check_finite "Stats.quantile" xs;
     let arr = Array.of_list xs in
     Array.sort Float.compare arr;
     let n = Array.length arr in
@@ -48,6 +49,24 @@ let percentile q xs =
     let frac = pos -. float_of_int i in
     if i + 1 >= n then arr.(n - 1)
     else arr.(i) +. (frac *. (arr.(i + 1) -. arr.(i)))
+
+let percentile q xs =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty sample"
+  | _ ->
+    if q < 0. || q > 1. then invalid_arg "Stats.percentile: q out of [0,1]";
+    check_finite "Stats.percentile" xs;
+    quantile q xs
+
+let median xs = quantile 0.5 xs
+
+let median_absolute_deviation xs =
+  match xs with
+  | [] -> invalid_arg "Stats.median_absolute_deviation: empty sample"
+  | _ ->
+    check_finite "Stats.median_absolute_deviation" xs;
+    let m = median xs in
+    median (List.map (fun x -> Float.abs (x -. m)) xs)
 
 (* Linear interpolation at quantile [q] of an already-sorted array. *)
 let interpolate_sorted arr q =

@@ -26,5 +26,20 @@ val percentile : float -> float list -> float
     @raise Invalid_argument on an empty list, [q] outside [\[0, 1\]], or a
     non-finite sample. *)
 
+val quantile : float -> float list -> float
+(** Interpolated quantile at fractional rank [q *. (n - 1)] of the sorted
+    sample — the primitive behind {!percentile} and {!median}, used by the
+    bench-regression tracker.
+    @raise Invalid_argument on an empty list, [q] outside [\[0, 1\]] (or
+    NaN), or a non-finite sample. *)
+
+val median : float list -> float
+(** [quantile 0.5]. *)
+
+val median_absolute_deviation : float list -> float
+(** [median (|x - median xs|)] — the robust dispersion estimate the
+    bench-regression tracker's noise band is built on.
+    @raise Invalid_argument on an empty list or a non-finite sample. *)
+
 val pp_summary : Format.formatter -> summary -> unit
 (** Renders ["mean=… sd=… min=… med=… p95=… max=… (n=…)"]. *)

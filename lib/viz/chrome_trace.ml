@@ -40,7 +40,7 @@ let procs_range procs =
   emit !lo !prev;
   Buffer.contents buf
 
-let of_run ?label tracer (metrics : Metrics.t) =
+let of_run ?label ?registry tracer (metrics : Metrics.t) =
   let label = match label with Some f -> f | None -> Printf.sprintf "t%d" in
   let spans = Tracer.spans tracer in
   let buf = Buffer.create 8192 in
@@ -152,5 +152,28 @@ let of_run ?label tracer (metrics : Metrics.t) =
           Printf.sprintf "\"args\": {\"depth\": %d}" depth;
         ])
     metrics.Metrics.queue_depth;
+  (* Registry gauges (domains busy, GC heap words, ...) become additional
+     counter tracks when a snapshot is supplied.  A snapshot is a
+     point-in-time merge, so each gauge renders as a single sample at the
+     end of the run; the registry-absent output is byte-identical to the
+     pre-registry format (pinned by the golden test). *)
+  (match registry with
+  | None -> ()
+  | Some snap ->
+    List.iter
+      (fun (ms : Moldable_obs.Registry.metric_snap) ->
+        match ms.Moldable_obs.Registry.ms_value with
+        | Moldable_obs.Registry.Gauge_v v ->
+          event
+            [
+              Printf.sprintf "\"name\": \"%s\""
+                (json_escape ms.Moldable_obs.Registry.ms_name);
+              "\"ph\": \"C\""; "\"pid\": 0";
+              Printf.sprintf "\"ts\": %s" (us (Metrics.span metrics));
+              Printf.sprintf "\"args\": {\"value\": %.12g}" v;
+            ]
+        | Moldable_obs.Registry.Counter_v _
+        | Moldable_obs.Registry.Hist_v _ -> ())
+      snap);
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf

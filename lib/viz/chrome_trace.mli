@@ -18,7 +18,17 @@
 
 open Moldable_sim
 
-val of_run : ?label:(int -> string) -> Tracer.t -> Metrics.t -> string
+val of_run :
+  ?label:(int -> string) ->
+  ?registry:Moldable_obs.Registry.snapshot ->
+  Tracer.t ->
+  Metrics.t ->
+  string
 (** [of_run tracer metrics] renders the tracer's spans and instants plus the
     metrics' counter timelines.  [label] names tasks in span names (default
-    ["t<id>"]). *)
+    ["t<id>"]).
+
+    [registry], when given, renders every gauge of the snapshot (e.g.
+    [moldable_pool_domains_busy], [moldable_gc_heap_words]) as an extra
+    counter track with a single sample at the end of the run; without it
+    the output is byte-identical to the pre-registry format. *)

@@ -746,6 +746,103 @@ let prop_pool_map_matches_sequential =
       Pool.with_pool ~jobs (fun pool ->
           expected = Pool.parallel_map pool (fun x -> (2 * x) + 1) arr))
 
+(* ----------------------------------------------------- quantile and MAD *)
+
+(* Sorted-array oracle for the interpolated quantile at rank q * (n - 1). *)
+let oracle_quantile q xs =
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.of_int (int_of_float pos)) in
+  let lo = max 0 (min (n - 1) lo) in
+  let hi = min (n - 1) (lo + 1) in
+  let frac = pos -. float_of_int lo in
+  a.(lo) +. ((a.(hi) -. a.(lo)) *. frac)
+
+let finite_samples =
+  QCheck.(
+    map
+      (fun xs -> List.map (fun i -> float_of_int (i - 500_000) /. 321.7) xs)
+      (list_of_size Gen.(int_range 1 80) (int_range 0 1_000_000)))
+
+let prop_quantile_matches_oracle =
+  QCheck.Test.make ~name:"Stats.quantile = sorted-array interpolation oracle"
+    ~count:200
+    QCheck.(pair finite_samples (float_range 0. 1.))
+    (fun (xs, q) ->
+      let got = Stats.quantile q xs and want = oracle_quantile q xs in
+      Float.abs (got -. want) <= 1e-9 *. Float.max 1. (Float.abs want))
+
+let prop_mad_matches_oracle =
+  QCheck.Test.make
+    ~name:"Stats.median_absolute_deviation = median of absolute deviations"
+    ~count:200 finite_samples (fun xs ->
+      let m = oracle_quantile 0.5 xs in
+      let want = oracle_quantile 0.5 (List.map (fun x -> Float.abs (x -. m)) xs) in
+      Float.abs (Stats.median_absolute_deviation xs -. want)
+      <= 1e-9 *. Float.max 1. want)
+
+let test_quantile_contract () =
+  check_float "median of singleton" 42. (Stats.quantile 0.5 [ 42. ]);
+  check_float "even-length median interpolates" 2.5
+    (Stats.median [ 4.; 1.; 2.; 3. ]);
+  check_float "q=0 is min" 1. (Stats.quantile 0. [ 3.; 1.; 2. ]);
+  check_float "q=1 is max" 3. (Stats.quantile 1. [ 3.; 1.; 2. ]);
+  check_float "MAD of constants" 0.
+    (Stats.median_absolute_deviation [ 5.; 5.; 5. ]);
+  check_float "MAD ignores one outlier" 1.
+    (Stats.median_absolute_deviation [ 1.; 2.; 3.; 4.; 100. ]);
+  List.iter
+    (fun f -> try ignore (f ()); Alcotest.fail "accepted invalid input"
+      with Invalid_argument _ -> ())
+    [
+      (fun () -> Stats.quantile 0.5 []);
+      (fun () -> Stats.quantile 1.5 [ 1. ]);
+      (fun () -> Stats.quantile Float.nan [ 1. ]);
+      (fun () -> Stats.quantile 0.5 [ Float.nan ]);
+      (fun () -> Stats.quantile 0.5 [ Float.infinity ]);
+      (fun () -> Stats.median_absolute_deviation []);
+      (fun () -> Stats.median_absolute_deviation [ 1.; Float.nan ]);
+    ]
+
+(* ------------------------------------------------------------------ clock *)
+
+(* Regression for the per-domain sharding: concurrent [time] calls charging
+   one name from several domains must not lose updates. *)
+let test_clock_cross_domain () =
+  let c = Clock.create () in
+  let domains = 4 and per_domain = 250 in
+  let workers =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Clock.time c "shared" (fun () -> Sys.opaque_identity ())
+            done))
+  in
+  List.iter Domain.join workers;
+  match Clock.timing c "shared" with
+  | None -> Alcotest.fail "timer lost"
+  | Some t ->
+    Alcotest.(check int) "no update lost" (domains * per_domain)
+      t.Clock.calls;
+    Alcotest.(check bool) "total bounds max" true
+      (t.Clock.total >= t.Clock.max && t.Clock.max >= 0.);
+    (* [add] merges into the same shard machinery. *)
+    Clock.add c "shared" 1.0;
+    (match Clock.timing c "shared" with
+    | Some t' ->
+      Alcotest.(check int) "add counts a call" ((domains * per_domain) + 1)
+        t'.Clock.calls;
+      Alcotest.(check bool) "add accumulates" true
+        (t'.Clock.total >= t.Clock.total +. 1.0)
+    | None -> Alcotest.fail "timer lost after add")
+
+let test_clock_now_monotone () =
+  let a = Clock.now () in
+  let b = Clock.now () in
+  Alcotest.(check bool) "non-decreasing" true (b >= a)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "util"
@@ -843,6 +940,16 @@ let () =
           Alcotest.test_case "one-pass singleton" `Quick
             test_stats_one_pass_singleton;
           qt prop_stats_summarize_matches_two_pass;
+          Alcotest.test_case "quantile/MAD contract" `Quick
+            test_quantile_contract;
+          qt prop_quantile_matches_oracle;
+          qt prop_mad_matches_oracle;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "cross-domain timers" `Quick
+            test_clock_cross_domain;
+          Alcotest.test_case "now monotone" `Quick test_clock_now_monotone;
         ] );
       ( "pool",
         [
