@@ -102,7 +102,17 @@ let summarize entries =
     groups []
   |> List.sort (fun a b ->
          match String.compare a.s_workload b.s_workload with
-         | 0 -> compare a.s_model b.s_model
+         | 0 ->
+           (* Constructor-declaration order, as polymorphic compare gave. *)
+           let rank = function
+             | Speedup.Kind_roofline -> 0
+             | Speedup.Kind_communication -> 1
+             | Speedup.Kind_amdahl -> 2
+             | Speedup.Kind_general -> 3
+             | Speedup.Kind_power -> 4
+             | Speedup.Kind_arbitrary -> 5
+           in
+           Int.compare (rank a.s_model) (rank b.s_model)
          | c -> c)
 
 let jf x = if Float.is_finite x then Printf.sprintf "%.12g" x else "null"

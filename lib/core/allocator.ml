@@ -45,8 +45,30 @@ let make ?explain ~name allocate_analyzed =
   }
 
 (* Smallest q in [1, p_max] with t(q) <= bound, assuming t non-increasing
-   there (Lemma 1).  Returns the allocation and how many feasibility
-   candidates were probed (the decision-trace provenance). *)
+   there (Lemma 1).  This uncounted form is the scheduler's hot path: a
+   tail-recursive bisection with no probe counter, so one allocation
+   decision allocates nothing (the counted variant below costs a closure,
+   two refs and a result pair — provenance the tracer wants but the
+   online run does not). *)
+let smallest_feasible (a : Task.analyzed) bound =
+  let task = a.Task.task in
+  if Moldable_util.Fcmp.leq (Task.time task 1) bound then 1
+  else begin
+    (* Invariant: not (feasible lo) && feasible hi. *)
+    let rec bisect lo hi =
+      if hi - lo <= 1 then hi
+      else begin
+        let mid = (lo + hi) / 2 in
+        if Moldable_util.Fcmp.leq (Task.time task mid) bound then
+          bisect lo mid
+        else bisect mid hi
+      end
+    in
+    bisect 1 a.Task.p_max
+  end
+
+(* Same search, plus how many feasibility candidates were probed (the
+   decision-trace provenance). *)
 let smallest_feasible_counted (a : Task.analyzed) bound =
   let probes = ref 0 in
   let feasible q =
@@ -89,6 +111,13 @@ let scan_feasible_counted (a : Task.analyzed) bound =
   if Task.monotonic a then smallest_feasible_counted a bound
   else scan_feasible_linear_counted a bound
 
+(* Uncounted arbitrary-model Step 1; the non-monotonic linear scan keeps
+   its counted form (it is the rare path and its probe count is its
+   length). *)
+let scan_feasible (a : Task.analyzed) bound =
+  if Task.monotonic a then smallest_feasible a bound
+  else fst (scan_feasible_linear_counted a bound)
+
 (* Step 1 against an explicit absolute time bound: the shared engine under
    both Algorithm 2 (bound = delta(mu) t_min) and the improved algorithm of
    Perotin–Sun (bound = rho t_min with a decoupled budget rho). *)
@@ -102,10 +131,20 @@ let step1_counted (a : Task.analyzed) ~bound =
 let initial_analyzed_counted ~mu (a : Task.analyzed) =
   step1_counted a ~bound:(Mu.delta mu *. a.Task.t_min)
 
-let initial_analyzed ~mu a = fst (initial_analyzed_counted ~mu a)
+let step1 (a : Task.analyzed) ~bound =
+  match Speedup.kind a.Task.task.Task.speedup with
+  | Speedup.Kind_arbitrary -> scan_feasible a bound
+  | Speedup.Kind_roofline | Speedup.Kind_communication | Speedup.Kind_amdahl
+  | Speedup.Kind_general | Speedup.Kind_power ->
+    smallest_feasible a bound
+
+let initial_analyzed ~mu (a : Task.analyzed) =
+  step1 a ~bound:(Mu.delta mu *. a.Task.t_min)
 let initial ~mu ~p task = initial_analyzed ~mu (Task.analyze ~p task)
 
-let apply_cap ~mu ~p q = min q (Mu.cap ~mu ~p)
+(* The cap is always >= 1, so a one-processor Step-1 result can skip
+   deriving it (a ceil of a float product per decision). *)
+let apply_cap ~mu ~p q = if q <= 1 then q else min q (Mu.cap ~mu ~p)
 
 (* Full Algorithm 2 provenance: Step 1's initial allocation and probe count,
    the beta budget delta(mu), and whether the Step-2 ceil(mu P) cap bit. *)
@@ -136,10 +175,13 @@ let explain_no_cap ~mu (a : Task.analyzed) =
   }
 
 let algorithm2 ~mu =
+  (* delta(mu) hoisted to construction: it is constant across decisions
+     (and an invalid mu is rejected here instead of at the first task). *)
+  let d = Mu.delta mu in
   make
     ~name:(Printf.sprintf "algorithm2(mu=%.4f)" mu)
     ~explain:(explain_algorithm2 ~mu)
-    (fun a -> apply_cap ~mu ~p:a.Task.p (initial_analyzed ~mu a))
+    (fun a -> apply_cap ~mu ~p:a.Task.p (step1 a ~bound:(d *. a.Task.t_min)))
 
 let algorithm2_per_model =
   make ~name:"algorithm2(per-model mu)"
@@ -147,14 +189,17 @@ let algorithm2_per_model =
       let mu = Mu.default (Speedup.kind a.Task.task.Task.speedup) in
       explain_algorithm2 ~mu a)
     (fun a ->
-      let mu = Mu.default (Speedup.kind a.Task.task.Task.speedup) in
-      apply_cap ~mu ~p:a.Task.p (initial_analyzed ~mu a))
+      let kind = Speedup.kind a.Task.task.Task.speedup in
+      let q = step1 a ~bound:(Mu.default_delta kind *. a.Task.t_min) in
+      if q <= 1 then q
+      else min q (Mu.cap ~mu:(Mu.default kind) ~p:a.Task.p))
 
 let no_cap ~mu =
+  let d = Mu.delta mu in
   make
     ~name:(Printf.sprintf "no-cap(mu=%.4f)" mu)
     ~explain:(explain_no_cap ~mu)
-    (fun a -> initial_analyzed ~mu a)
+    (fun a -> step1 a ~bound:(d *. a.Task.t_min))
 
 let min_time = make ~name:"min-time" (fun a -> a.Task.p_max)
 let sequential = make ~name:"sequential" (fun _ -> 1)

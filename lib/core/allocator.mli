@@ -63,14 +63,18 @@ val make :
 val initial : mu:float -> p:int -> Task.t -> int
 (** Step 1 of Algorithm 2 only. *)
 
-val step1_counted : Task.analyzed -> bound:float -> int * int
+val step1 : Task.analyzed -> bound:float -> int
 (** The Step-1 search against an explicit absolute execution-time bound:
     smallest feasible allocation for monotonic models (binary search),
     minimum-area feasible allocation for non-monotonic [Arbitrary] models
-    (exhaustive scan).  Returns the allocation and the number of
-    feasibility candidates probed.  This is the engine shared by
-    {!algorithm2} ([bound = delta(mu) * t_min]) and the improved
+    (exhaustive scan).  This allocation-free form is the hot-path engine
+    shared by {!algorithm2} ([bound = delta(mu) * t_min]) and the improved
     allocator of {!Improved_alloc} ([bound = rho * t_min]). *)
+
+val step1_counted : Task.analyzed -> bound:float -> int * int
+(** {!step1} plus the number of feasibility candidates probed
+    (binary-search probes for monotonic models, [p_max] for the exhaustive
+    scan) — the provenance recorded in {!decision}. *)
 
 val initial_analyzed : mu:float -> Task.analyzed -> int
 (** {!initial} from a precomputed analysis. *)

@@ -65,9 +65,11 @@ let explain_with params (a : Task.analyzed) =
     candidates_scanned = scanned;
   }
 
-let allocate_with params (a : Task.analyzed) =
-  let _, _, _, final_alloc, _ = decide_counted a.Task.p params a in
-  final_alloc
+(* Hot-path form: the uncounted Step-1 search and no provenance tuple, so
+   an allocation decision allocates nothing. *)
+let allocate_with { mu; rho } (a : Task.analyzed) =
+  let p_star = Allocator.step1 a ~bound:(rho *. a.Task.t_min) in
+  min p_star (Mu.cap ~mu ~p:a.Task.p)
 
 let allocator ~mu ~rho =
   let params = { mu; rho } in

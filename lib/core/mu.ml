@@ -23,6 +23,22 @@ let default = function
   | Speedup.Kind_power -> mu_general (* no guarantee; general's mu as default *)
   | Speedup.Kind_arbitrary -> mu_general
 
+(* delta of each default mu, evaluated once at module init: the per-model
+   allocator consults delta on every allocation decision, and recomputing
+   it there costs a division chain plus a boxed result per task. *)
+let delta_roofline = delta mu_roofline
+let delta_communication = delta mu_communication
+let delta_amdahl = delta mu_amdahl
+let delta_general = delta mu_general
+
+let default_delta = function
+  | Speedup.Kind_roofline -> delta_roofline
+  | Speedup.Kind_communication -> delta_communication
+  | Speedup.Kind_amdahl -> delta_amdahl
+  | Speedup.Kind_general -> delta_general
+  | Speedup.Kind_power -> delta_general
+  | Speedup.Kind_arbitrary -> delta_general
+
 let cap ~mu ~p =
   if p < 1 then invalid_arg "Mu.cap: p must be >= 1";
   (* ceil(mu * P) of Algorithm 2, step 2.  The product is computed in floats,

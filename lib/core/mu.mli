@@ -23,6 +23,10 @@ val delta : float -> float
 val default : Speedup.kind -> float
 (** Optimal [mu] for each model family (Theorems 1–4). *)
 
+val default_delta : Speedup.kind -> float
+(** [delta (default kind)], precomputed at module init — equal to what
+    {!delta} returns, without re-deriving it per allocation decision. *)
+
 val cap : mu:float -> p:int -> int
 (** [ceil (mu * P)], the allocation cap of Step 2 of Algorithm 2 — always at
     least 1. *)

@@ -13,7 +13,7 @@ let critical_path_policy ~allocator ~p dag =
   (* (task id, alloc), sorted by decreasing bottom level, ties by id. *)
   let insert (id, alloc) =
     let higher (a, _) (b, _) =
-      match compare bl.(b) bl.(a) with 0 -> compare a b | c -> c
+      match Float.compare bl.(b) bl.(a) with 0 -> Int.compare a b | c -> c
     in
     let rec go = function
       | [] -> [ (id, alloc) ]
@@ -66,8 +66,8 @@ let list_with ~allocations ~priority ~p dag =
     allocations;
   let queue : int list ref = ref [] in
   let before a b =
-    match compare priority.(b) priority.(a) with
-    | 0 -> compare a b
+    match Float.compare priority.(b) priority.(a) with
+    | 0 -> Int.compare a b
     | c -> c
   in
   let insert id =

@@ -163,8 +163,8 @@ let policy_reference ?(priority = Priority.fifo) ~allocator ~p () =
   }
 
 let run ?priority ?(allocator = Allocator.algorithm2_per_model) ?release_times
-    ?registry ~p dag =
-  Engine.run ?release_times ?registry ~p
+    ?registry ?arena ?lean ~p dag =
+  Engine.run ?release_times ?registry ?arena ?lean ~p
     (policy ?priority ?registry ~allocator ~p ())
     dag
 

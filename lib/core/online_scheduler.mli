@@ -54,9 +54,12 @@ val policy_reference :
 val run :
   ?priority:Priority.t -> ?allocator:Allocator.t ->
   ?release_times:float array -> ?registry:Moldable_obs.Registry.t ->
+  ?arena:Sim_core.Arena.t -> ?lean:bool ->
   p:int -> Dag.t -> Engine.result
 (** One-shot: build the policy (allocator defaults to
-    {!Allocator.algorithm2_per_model}) and simulate it. *)
+    {!Allocator.algorithm2_per_model}) and simulate it.  [arena] and
+    [lean] are forwarded to {!Engine.run} (storage reuse / skip trace
+    recording; the schedule is unaffected). *)
 
 val run_instrumented :
   ?priority:Priority.t -> ?allocator:Allocator.t ->

@@ -33,12 +33,12 @@ let norm_mag m =
 
 let compare_mag a b =
   let la = Array.length a and lb = Array.length b in
-  if la <> lb then compare la lb
+  if la <> lb then Int.compare la lb
   else begin
     let c = ref 0 in
     let i = ref (la - 1) in
     while !c = 0 && !i >= 0 do
-      c := compare a.(!i) b.(!i);
+      c := Int.compare a.(!i) b.(!i);
       decr i
     done;
     !c
@@ -188,7 +188,7 @@ let is_zero t = t.sign = 0
 let equal a b = a.sign = b.sign && a.mag = b.mag
 
 let compare a b =
-  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  if a.sign <> b.sign then Int.compare a.sign b.sign
   else if a.sign >= 0 then compare_mag a.mag b.mag
   else compare_mag b.mag a.mag
 

@@ -6,7 +6,7 @@ type t = {
   pred : int list array; (* ascending *)
 }
 
-let sort_uniq_ints = List.sort_uniq compare
+let sort_uniq_ints = List.sort_uniq Int.compare
 
 let check_acyclic n succ =
   (* Kahn's algorithm: if we cannot consume every node, there is a cycle. *)
@@ -77,7 +77,10 @@ let sinks t = filter_ids (fun i -> t.succ.(i) = []) t
 let edges t =
   let acc = ref [] in
   Array.iteri (fun i ss -> List.iter (fun j -> acc := (i, j) :: !acc) ss) t.succ;
-  List.sort compare !acc
+  List.sort
+    (fun (a1, a2) (b1, b2) ->
+      match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c)
+    !acc
 
 let n_edges t = Array.fold_left (fun a ss -> a + List.length ss) 0 t.succ
 

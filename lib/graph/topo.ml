@@ -1,7 +1,7 @@
 let order g =
   let n = Dag.n g in
   let indeg = Array.init n (Dag.in_degree g) in
-  let ready = Moldable_util.Pqueue.create ~cmp:compare in
+  let ready = Moldable_util.Pqueue.create ~cmp:Int.compare in
   for i = 0 to n - 1 do
     if indeg.(i) = 0 then Moldable_util.Pqueue.push ready i
   done;

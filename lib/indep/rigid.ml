@@ -44,7 +44,7 @@ let list_schedule ~p ~jobs dag =
   Engine.run ~p { Engine.name = "rigid-list"; on_ready; next_launch } dag
 
 let shelf_pack ~p ~jobs =
-  let sorted = List.sort (fun a b -> compare b.time a.time) jobs in
+  let sorted = List.sort (fun a b -> Float.compare b.time a.time) jobs in
   let builder = Schedule.builder ~p ~n:(List.length jobs) in
   let shelf_start = ref 0. in
   let shelf_height = ref 0. in

@@ -10,13 +10,15 @@ let make ?label ~id speedup =
 let time t p = Speedup.time t.speedup p
 let area t p = Speedup.area t.speedup p
 
+type mono_memo = Mono_unknown | Mono_yes | Mono_no
+
 type analyzed = {
   task : t;
   p : int;
   p_max : int;
   t_min : float;
   a_min : float;
-  mono : bool Lazy.t;
+  mutable mono : mono_memo;
 }
 
 (* pbar of Equation (5): the integer neighbour of s = sqrt(w/c) with the
@@ -35,16 +37,19 @@ let pbar_of ~w ~c ~p m =
   if Moldable_util.Fcmp.leq (Speedup.time m lo) (Speedup.time m hi) then lo
   else hi
 
+(* -1 when the model has no closed form (Arbitrary): an int sentinel
+   instead of an option so the per-task analysis allocates nothing on the
+   closed-form path. *)
 let closed_form_p_max ~p (m : Speedup.t) =
   match m with
-  | Speedup.Roofline { ptilde; _ } -> Some (min p ptilde)
-  | Speedup.Communication { w; c } -> Some (min p (pbar_of ~w ~c ~p m))
-  | Speedup.Amdahl _ -> Some p
+  | Speedup.Roofline { ptilde; _ } -> min p ptilde
+  | Speedup.Communication { w; c } -> min p (pbar_of ~w ~c ~p m)
+  | Speedup.Amdahl _ -> p
   | Speedup.General { w; ptilde; c; _ } ->
-    if c > 0. then Some (min p (min ptilde (pbar_of ~w ~c ~p m)))
-    else Some (min p ptilde)
-  | Speedup.Power _ -> Some p (* strictly decreasing execution time *)
-  | Speedup.Arbitrary _ -> None
+    if c > 0. then min p (min ptilde (pbar_of ~w ~c ~p m))
+    else min p ptilde
+  | Speedup.Power _ -> p (* strictly decreasing execution time *)
+  | Speedup.Arbitrary _ -> -1
 
 let p_max_scan ~p t =
   Moldable_util.Numerics.integer_argmin ~f:(fun q -> time t q) ~lo:1 ~hi:p
@@ -63,11 +68,11 @@ let monotonic_scan t p_max =
 let analyze ~p t =
   if p < 1 then invalid_arg "Task.analyze: platform size must be >= 1";
   match closed_form_p_max ~p t.speedup with
-  | Some p_max ->
+  | p_max when p_max >= 1 ->
     let t_min = time t p_max in
     let a_min = area t 1 in
-    { task = t; p; p_max; t_min; a_min; mono = lazy (monotonic_scan t p_max) }
-  | None ->
+    { task = t; p; p_max; t_min; a_min; mono = Mono_unknown }
+  | _ ->
     (* Arbitrary speedups: the closed forms do not apply, so everything comes
        from one fused pass that evaluates the (caller-supplied, potentially
        expensive) time function exactly once per allocation, instead of the
@@ -91,13 +96,20 @@ let analyze ~p t =
         if not (Moldable_util.Fcmp.geq times.(q - 1) times.(q)) then ok := false;
         if not (Moldable_util.Fcmp.leq (a_of q) (a_of (q + 1))) then ok := false
       done;
-      Lazy.from_val !ok
+      if !ok then Mono_yes else Mono_no
     in
     { task = t; p; p_max; t_min; a_min; mono }
 
 let alpha a q = area a.task q /. a.a_min
 let beta a q = time a.task q /. a.t_min
-let monotonic a = Lazy.force a.mono
+let monotonic a =
+  match a.mono with
+  | Mono_yes -> true
+  | Mono_no -> false
+  | Mono_unknown ->
+    let ok = monotonic_scan a.task a.p_max in
+    a.mono <- (if ok then Mono_yes else Mono_no);
+    ok
 
 module Cache = struct
   type nonrec t = {

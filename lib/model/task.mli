@@ -28,13 +28,19 @@ val area : t -> int -> float
 
 (** {1 Per-platform analysis} *)
 
+(** Memo cell for Lemma 1's monotonic property: the constant constructors
+    keep {!analyze} allocation-free on the closed-form path (a lazy thunk
+    here used to cost ~10 minor words per analyzed task on the scheduler's
+    hot path).  Query via {!monotonic}, which fills the cell on demand. *)
+type mono_memo = Mono_unknown | Mono_yes | Mono_no
+
 type analyzed = private {
   task : t;
   p : int;       (** Platform size [P] used for the analysis. *)
   p_max : int;   (** Equation (5). *)
   t_min : float; (** [time task p_max]. *)
   a_min : float; (** Minimum area over allocations [1 .. p_max]. *)
-  mono : bool Lazy.t;
+  mutable mono : mono_memo;
       (** Lemma 1's monotonic property, memoized; query via {!monotonic}. *)
 }
 

@@ -17,10 +17,10 @@ type result = {
 (* The failure-free engine is the unified core instantiated with the [never]
    failure model; only the trace needs mapping, because a failure-free run
    cannot contain [Failed] events. *)
-let run ?release_times ?registry ~p policy dag =
+let run ?release_times ?registry ?arena ?lean ~p policy dag =
   let r =
-    Sim_core.run ?release_times ?registry ~failures:Sim_core.never ~p policy
-      dag
+    Sim_core.run ?release_times ?registry ?arena ?lean
+      ~failures:Sim_core.never ~p policy dag
   in
   let trace =
     List.map
@@ -35,4 +35,5 @@ let run ?release_times ?registry ~p policy dag =
   in
   { schedule = r.Sim_core.schedule; trace; metrics = r.Sim_core.metrics }
 
-let makespan ~p policy dag = Schedule.makespan (run ~p policy dag).schedule
+let makespan ~p policy dag =
+  Schedule.makespan (run ~lean:true ~p policy dag).schedule

@@ -48,6 +48,8 @@ type result = {
 val run :
   ?release_times:float array ->
   ?registry:Moldable_obs.Registry.t ->
+  ?arena:Sim_core.Arena.t ->
+  ?lean:bool ->
   p:int ->
   policy ->
   Dag.t ->
@@ -61,10 +63,13 @@ val run :
     independent-tasks-over-time model the paper's conclusion mentions.
 
     [registry] (default {!Moldable_obs.Registry.null}) receives the run
-    counters; see {!Sim_core.run}.
+    counters; see {!Sim_core.run}.  [arena] and [lean] are forwarded to
+    {!Sim_core.run}: an arena reuses per-run storage across runs, and a
+    lean run skips trace/metric recording (the result's [trace] is [[]])
+    while producing the identical [schedule].
 
     @raise Policy_error as documented above.
     @raise Invalid_argument on ill-formed release times. *)
 
 val makespan : p:int -> policy -> Dag.t -> float
-(** Convenience: [makespan] of the schedule of {!run}. *)
+(** Convenience: [makespan] of the schedule of {!run} (runs lean). *)

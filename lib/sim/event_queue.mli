@@ -1,28 +1,39 @@
 (** Time-ordered event queue for the discrete-event engine.
 
     Events are totally ordered by [(time, sequence number)]: ties in time are
-    broken by insertion order, which keeps the simulation deterministic. *)
+    broken by insertion order, which keeps the simulation deterministic.
 
-type 'a t
+    The queue is a {!Moldable_util.Float_heap} — flat parallel arrays of
+    unboxed time stamps, sequence numbers and [int] payload words — so
+    pushes and pops allocate nothing once the heap has reached its
+    high-water size.  The engine encodes its event kinds into the payload
+    word (tag bit + task id) and keeps the per-event side data (start
+    stamps, processor blocks) in per-task arrays; see {!Sim_core}. *)
 
-val create : unit -> 'a t
-val is_empty : 'a t -> bool
-val length : 'a t -> int
+type t
 
-val add : 'a t -> time:float -> 'a -> unit
+val create : ?capacity:int -> unit -> t
+val clear : t -> unit
+(** Empties the queue (keeping its arrays) and resets the tie-break
+    sequence, so a cleared queue re-fills without allocating. *)
+
+val is_empty : t -> bool
+val length : t -> int
+
+val add : t -> time:float -> int -> unit
 (** Requires a finite, non-NaN [time]. *)
 
-val next_time : 'a t -> float option
+val next_time : t -> float option
 (** Time stamp of the earliest event, if any. *)
 
-val pop : 'a t -> (float * 'a) option
+val pop : t -> (float * int) option
 
 val batch_eps : float
 (** The relative tolerance {!pop_simultaneous} batches under ([1e-12]).
     Exposed so differential checkers can replay the batching decision with
     the exact same constant. *)
 
-val pop_simultaneous : 'a t -> (float * 'a list) option
+val pop_simultaneous : t -> (float * int list) option
 (** Pops {e every} event whose time stamp equals the earliest one up to a
     relative epsilon of [1e-12] (keyed off the earliest stamp, so the batch
     cannot drift), in [(time, insertion)] order — the engine treats
@@ -32,3 +43,24 @@ val pop_simultaneous : 'a t -> (float * 'a list) option
     {e latest} stamp of the batch, so acting "at" the returned instant never
     precedes any stamp inside it (a task started then cannot overlap a
     completion recorded one ulp later). *)
+
+(** {2 Zero-allocation batch interface}
+
+    The hot loop's alternative to {!pop_simultaneous}: the batch lands in
+    a reusable internal buffer instead of a fresh list.  The buffer is
+    valid until the next [pop_batch]/[pop]/[pop_simultaneous] call. *)
+
+val pop_batch : t -> int
+(** Pops the next simultaneous batch (same semantics and tolerance as
+    {!pop_simultaneous}) into the internal buffer and returns its length —
+    [0] when the queue is empty. *)
+
+val batch_time : t -> float
+(** The latest stamp of the last popped batch (the instant the caller acts
+    at). *)
+
+val batch_stamp : t -> int -> float
+(** The [i]-th batched event's own time stamp (events keep their exact
+    stamps; the batch instant is their maximum). *)
+
+val batch_payload : t -> int -> int

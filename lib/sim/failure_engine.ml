@@ -60,7 +60,7 @@ let validate ~dag ~p result =
     result.attempts;
   for i = 0 to n - 1 do
     let atts =
-      List.sort (fun a b -> compare a.attempt b.attempt) per_task.(i)
+      List.sort (fun a b -> Int.compare a.attempt b.attempt) per_task.(i)
     in
     (match atts with
     | [] -> err "task %d never executed" i
@@ -109,7 +109,7 @@ let validate ~dag ~p result =
       (fun a -> [ (a.finish, 0, a); (a.start, 1, a) ])
       result.attempts
     |> List.sort (fun (ta, ka, _) (tb, kb, _) ->
-           match compare ta tb with 0 -> compare ka kb | c -> c)
+           match Float.compare ta tb with 0 -> Int.compare ka kb | c -> c)
   in
   let occupied = Array.make p false in
   List.iter

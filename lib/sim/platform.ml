@@ -1,13 +1,26 @@
+(* The shared length-0 sentinel marking an empty pool slot: no real block
+   has length 0 ([acquire] requires n >= 1), so physical equality with
+   [no_block] is unambiguous. *)
+let no_block : int array = [||]
+
 type t = {
   size : int;
   free : bool array;
   mutable n_free : int;
   mutable scan_hint : int; (* smallest index possibly free *)
+  pool : int array array;
+      (* one recycled block per size, indexed by length; [no_block] = empty *)
 }
 
 let create p =
   if p < 1 then invalid_arg "Platform.create: need at least one processor";
-  { size = p; free = Array.make p true; n_free = p; scan_hint = 0 }
+  {
+    size = p;
+    free = Array.make p true;
+    n_free = p;
+    scan_hint = 0;
+    pool = Array.make (p + 1) no_block;
+  }
 
 let p t = t.size
 let free_count t = t.n_free
@@ -19,35 +32,54 @@ let acquire t n =
     invalid_arg
       (Printf.sprintf "Platform.acquire: %d requested but only %d free" n
          t.n_free);
-  let ids = Array.make n 0 in
-  let found = ref 0 and i = ref t.scan_hint in
-  while !found < n do
-    if t.free.(!i) then begin
-      t.free.(!i) <- false;
-      ids.(!found) <- !i;
-      incr found
-    end;
-    incr i
-  done;
+  let ids =
+    let cached = t.pool.(n) in
+    if cached != no_block then begin
+      t.pool.(n) <- no_block;
+      cached
+    end
+    else Array.make n 0
+  in
+  let rec scan i found =
+    if found = n then i
+    else if t.free.(i) then begin
+      t.free.(i) <- false;
+      ids.(found) <- i;
+      scan (i + 1) (found + 1)
+    end
+    else scan (i + 1) found
+  in
+  let stop = scan t.scan_hint 0 in
   t.n_free <- t.n_free - n;
   (* Invariant: every processor below [scan_hint] is busy.  The scan starts
      at the hint and consumes every free processor it passes, so the
      invariant extends to the final scan position. *)
-  t.scan_hint <- !i;
+  t.scan_hint <- stop;
   ids
 
 let release t ids =
-  Array.iter
-    (fun i ->
-      if i < 0 || i >= t.size then
-        invalid_arg (Printf.sprintf "Platform.release: bad processor id %d" i);
-      if t.free.(i) then
-        invalid_arg
-          (Printf.sprintf "Platform.release: processor %d is not busy" i);
-      t.free.(i) <- true;
-      if i < t.scan_hint then t.scan_hint <- i)
-    ids;
+  (* Plain loop: [Array.iter] would allocate a closure over [t] on every
+     release, once per completed attempt. *)
+  for k = 0 to Array.length ids - 1 do
+    let i = ids.(k) in
+    if i < 0 || i >= t.size then
+      invalid_arg (Printf.sprintf "Platform.release: bad processor id %d" i);
+    if t.free.(i) then
+      invalid_arg
+        (Printf.sprintf "Platform.release: processor %d is not busy" i);
+    t.free.(i) <- true;
+    if i < t.scan_hint then t.scan_hint <- i
+  done;
   t.n_free <- t.n_free + Array.length ids
+
+let recycle t ids =
+  release t ids;
+  t.pool.(Array.length ids) <- ids
+
+let reset t =
+  Array.fill t.free 0 t.size true;
+  t.n_free <- t.size;
+  t.scan_hint <- 0
 
 let is_free t i =
   if i < 0 || i >= t.size then

@@ -8,25 +8,33 @@ type placement = {
 
 type t = { p : int; by_task : placement array }
 
+(* Empty-slot sentinel: no real placement carries [nprocs = 0] ([add]
+   rejects it), and physical equality makes the test unambiguous.  Storing
+   placements directly instead of ['a option] keeps [add] — once per
+   completed task on the simulator's hot path — allocation-free. *)
+let no_placement =
+  { task_id = -1; start = 0.; finish = 0.; nprocs = 0; procs = [||] }
+
 type builder = {
   bp : int;
-  slots : placement option array;
+  slots : placement array;
   mutable added : int;
 }
 
 let builder ~p ~n =
   if p < 1 then invalid_arg "Schedule.builder: p must be >= 1";
   if n < 0 then invalid_arg "Schedule.builder: n must be >= 0";
-  { bp = p; slots = Array.make n None; added = 0 }
+  { bp = p; slots = Array.make n no_placement; added = 0 }
 
 let well_formed_procs p pl =
   Array.length pl.procs = pl.nprocs
   && pl.nprocs >= 1
-  && Array.for_all (fun i -> i >= 0 && i < p) pl.procs
   &&
   let ok = ref true in
-  for k = 0 to Array.length pl.procs - 2 do
-    if pl.procs.(k) >= pl.procs.(k + 1) then ok := false
+  for k = 0 to Array.length pl.procs - 1 do
+    let i = pl.procs.(k) in
+    if i < 0 || i >= p then ok := false;
+    if k > 0 && pl.procs.(k - 1) >= i then ok := false
   done;
   !ok
 
@@ -34,7 +42,7 @@ let add b pl =
   if pl.task_id < 0 || pl.task_id >= Array.length b.slots then
     invalid_arg
       (Printf.sprintf "Schedule.add: task id %d out of range" pl.task_id);
-  if b.slots.(pl.task_id) <> None then
+  if b.slots.(pl.task_id) != no_placement then
     invalid_arg
       (Printf.sprintf "Schedule.add: task %d placed twice" pl.task_id);
   if pl.start < 0. || pl.finish < pl.start then
@@ -45,18 +53,17 @@ let add b pl =
     invalid_arg
       (Printf.sprintf "Schedule.add: task %d has an ill-formed processor set"
          pl.task_id);
-  b.slots.(pl.task_id) <- Some pl;
+  b.slots.(pl.task_id) <- pl;
   b.added <- b.added + 1
 
 let finalize b =
   let by_task =
     Array.mapi
-      (fun i slot ->
-        match slot with
-        | Some pl -> pl
-        | None ->
+      (fun i pl ->
+        if pl == no_placement then
           invalid_arg
-            (Printf.sprintf "Schedule.finalize: task %d was never placed" i))
+            (Printf.sprintf "Schedule.finalize: task %d was never placed" i)
+        else pl)
       b.slots
   in
   { p = b.bp; by_task }
@@ -73,8 +80,8 @@ let placements t =
   let l = Array.to_list t.by_task in
   List.sort
     (fun a b ->
-      match compare a.start b.start with
-      | 0 -> compare a.task_id b.task_id
+      match Float.compare a.start b.start with
+      | 0 -> Int.compare a.task_id b.task_id
       | c -> c)
     l
 
@@ -84,7 +91,7 @@ let utilization_steps t =
     Array.to_list t.by_task
     |> List.concat_map (fun pl ->
            [ (pl.start, pl.nprocs); (pl.finish, -pl.nprocs) ])
-    |> List.sort (fun (ta, _) (tb, _) -> compare ta tb)
+    |> List.sort (fun (ta, _) (tb, _) -> Float.compare ta tb)
   in
   let rec sweep acc busy cursor = function
     | [] -> List.rev acc

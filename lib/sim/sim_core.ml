@@ -59,25 +59,120 @@ type result = {
   metrics : Metrics.t;
 }
 
-type task_state = Unrevealed | Available | Running | Done
+(* Task states, as int codes so the arena's state array is a plain
+   [int array] reusable across runs. *)
+let st_unrevealed = 0
+let st_available = 1
+let st_running = 2
+let st_done = 3
 
-(* Internal simulation events: attempt completions and delayed reveals.  The
-   exact finish stamp ([start +. duration]) rides along because
-   [Event_queue.pop_simultaneous] reports a batch under its latest member's
-   stamp, and the schedule must record each task's own stamp. *)
-type sim_event =
-  | Complete of { tid : int; attempt : int; start : float; finish : float;
-                  procs : int array }
-  | Reveal of int
+(* ------------------------------------------------------------------ arena *)
 
-let run ?release_times ?(seed = 0) ?(max_attempts = max_int)
-    ?(failures = never) ?(tracer = Tracer.null)
-    ?(registry = Moldable_obs.Registry.null) ~p policy dag =
-  let n = Dag.n dag in
-  (* One branch per hook when tracing is off: [traced] is read once here and
-     every tracer call below is guarded by it, so [Tracer.null] runs do no
-     tracing work and allocate nothing on the hot path. *)
-  let traced = Tracer.enabled tracer in
+(* All per-run storage in one reusable bundle: the event heap, the per-task
+   bookkeeping arrays, the recording buffers and the platform (with its
+   recycled-segment pool).  [ensure] grows everything to the (p, n)
+   high-water mark; nothing shrinks, so a pool domain that sweeps many
+   cells allocates the arrays once and reuses them for every run. *)
+module Arena = struct
+  type t = {
+    mutable platform : Platform.t option;
+    events : Event_queue.t;
+    mutable cap : int; (* current per-task array capacity *)
+    mutable state : int array;
+    mutable indeg : int array;
+    mutable attempt_no : int array;
+    mutable first_ready : float array;
+    mutable first_start : float array;
+    mutable service : float array;
+    mutable run_start : float array; (* start stamp of the running attempt *)
+    mutable run_procs : int array array; (* procs of the running attempt *)
+    mutable outcomes : int array; (* per-batch classification buffer *)
+    (* Full-mode recording buffers; converted to the public list-shaped
+       result fields once at the end of a run. *)
+    tr_times : Growbuf.F.t;
+    tr_a : Growbuf.I.t; (* event kind (2 bits) lor (first arg lsl 2) *)
+    tr_b : Growbuf.I.t; (* second arg, 0 when absent *)
+    at_ints : Growbuf.I.t; (* stride 3: task_id, attempt, nprocs*2+failed *)
+    at_floats : Growbuf.F.t; (* stride 2: start, finish *)
+    at_procs : int array Growbuf.A.t;
+    qd_times : Growbuf.F.t;
+    qd_depths : Growbuf.I.t;
+    mutable in_use : bool;
+        (* A nested/concurrent run on the same arena would corrupt it;
+           [run] checks the flag and falls back to a private arena. *)
+  }
+
+  let create () =
+    {
+      platform = None;
+      events = Event_queue.create ();
+      cap = 0;
+      state = [||];
+      indeg = [||];
+      attempt_no = [||];
+      first_ready = [||];
+      first_start = [||];
+      service = [||];
+      run_start = [||];
+      run_procs = [||];
+      outcomes = [||];
+      tr_times = Growbuf.F.create ();
+      tr_a = Growbuf.I.create ();
+      tr_b = Growbuf.I.create ();
+      at_ints = Growbuf.I.create ();
+      at_floats = Growbuf.F.create ();
+      at_procs = Growbuf.A.create ~dummy:[||] ();
+      qd_times = Growbuf.F.create ();
+      qd_depths = Growbuf.I.create ();
+      in_use = false;
+    }
+
+  let ensure t ~p ~n =
+    if n > t.cap then begin
+      let cap = max n (2 * t.cap) in
+      t.state <- Array.make cap st_unrevealed;
+      t.indeg <- Array.make cap 0;
+      t.attempt_no <- Array.make cap 0;
+      t.first_ready <- Array.make cap nan;
+      t.first_start <- Array.make cap nan;
+      t.service <- Array.make cap 0.;
+      t.run_start <- Array.make cap 0.;
+      t.run_procs <- Array.make cap [||];
+      t.cap <- cap
+    end;
+    (match t.platform with
+    | Some pl when Platform.p pl = p -> Platform.reset pl
+    | Some _ | None -> t.platform <- Some (Platform.create p))
+
+  let outcomes_for t len =
+    if Array.length t.outcomes < len then
+      t.outcomes <- Array.make (max len (2 * Array.length t.outcomes)) 0;
+    t.outcomes
+
+  (* One arena per pool domain: workers are long-lived, so a parallel sweep
+     re-allocates nothing per cell. *)
+  let dls_key = Domain.DLS.new_key (fun () -> create ())
+  let for_current_domain () = Domain.DLS.get dls_key
+end
+
+(* Event payload encoding for the int-keyed queue: the low bit tags the
+   kind, the rest is the task id.  The side data a completion used to carry
+   in a [Complete] record (attempt number, start stamp, processor block)
+   lives in the arena's per-task arrays — a task has at most one
+   outstanding attempt — and the exact finish stamp is the event's own heap
+   key ([Event_queue.batch_stamp]), which [pop_simultaneous]-style batching
+   preserves per event. *)
+let[@inline] enc_reveal i = i lsl 1
+let[@inline] enc_complete tid = (tid lsl 1) lor 1
+
+(* Trace event encoding for the recording buffers: kind in the low 2 bits
+   of [tr_a], first argument above them, second argument in [tr_b]. *)
+let ev_ready = 0
+let ev_start = 1
+let ev_finish = 2
+let ev_failed = 3
+
+let validate_inputs ?release_times ~max_attempts ~n () =
   (match release_times with
   | None -> ()
   | Some r ->
@@ -89,14 +184,446 @@ let run ?release_times ?(seed = 0) ?(max_attempts = max_int)
           invalid_arg "Sim_core.run: release times must be finite and >= 0")
       r);
   if max_attempts < 1 then
-    invalid_arg "Sim_core.run: max_attempts must be >= 1";
+    invalid_arg "Sim_core.run: max_attempts must be >= 1"
+
+let run ?release_times ?(seed = 0) ?(max_attempts = max_int)
+    ?(failures = never) ?(tracer = Tracer.null)
+    ?(registry = Moldable_obs.Registry.null) ?arena ?(lean = false) ~p policy
+    dag =
+  let n = Dag.n dag in
+  (* One branch per hook when tracing is off: [traced] is read once here and
+     every tracer call below is guarded by it, so [Tracer.null] runs do no
+     tracing work and allocate nothing on the hot path. *)
+  let traced = Tracer.enabled tracer in
+  let recording = not lean in
+  validate_inputs ?release_times ~max_attempts ~n ();
+  let release i =
+    match release_times with None -> 0. | Some r -> r.(i)
+  in
+  let rng = Rng.create seed in
+  let a =
+    match arena with
+    | Some a when not a.Arena.in_use -> a
+    | Some _ | None -> Arena.create ()
+  in
+  a.Arena.in_use <- true;
+  Fun.protect
+    ~finally:(fun () -> a.Arena.in_use <- false)
+    (fun () ->
+      Arena.ensure a ~p ~n;
+      let platform = Option.get a.Arena.platform in
+      let events = a.Arena.events in
+      Event_queue.clear events;
+      let state = a.Arena.state in
+      Array.fill state 0 n st_unrevealed;
+      let indeg = a.Arena.indeg in
+      for i = 0 to n - 1 do
+        indeg.(i) <- Dag.in_degree dag i
+      done;
+      let attempt_no = a.Arena.attempt_no in
+      Array.fill attempt_no 0 n 0;
+      let first_ready = a.Arena.first_ready in
+      let first_start = a.Arena.first_start in
+      let service = a.Arena.service in
+      if recording then begin
+        Array.fill first_ready 0 n nan;
+        Array.fill first_start 0 n nan;
+        Array.fill service 0 n 0.
+      end;
+      let run_start = a.Arena.run_start in
+      let run_procs = a.Arena.run_procs in
+      Growbuf.F.clear a.Arena.tr_times;
+      Growbuf.I.clear a.Arena.tr_a;
+      Growbuf.I.clear a.Arena.tr_b;
+      Growbuf.I.clear a.Arena.at_ints;
+      Growbuf.F.clear a.Arena.at_floats;
+      Growbuf.A.clear a.Arena.at_procs;
+      Growbuf.F.clear a.Arena.qd_times;
+      Growbuf.I.clear a.Arena.qd_depths;
+      let builder = Schedule.builder ~p ~n in
+      let completed = ref 0 in
+      let n_failures = ref 0 in
+      (* A one-cell float array, not a [float ref]: the cell is written once
+         per completion, and assigning an unboxed local to a float ref boxes
+         it every time, while a float-array store does not. *)
+      let makespan = Array.make 1 0. in
+      (* Observability state: counters mutate in place; the ready count and
+         per-task arrays feed the Metrics report after the run. *)
+      let counters = Metrics.make_counters () in
+      let ready_count = ref 0 in
+      (* A failed attempt's processor block can return to the platform's
+         segment pool only when nothing retains it: lean mode keeps no
+         attempt records, and a live tracer would capture the block in its
+         spans. *)
+      let recycle_ok = lean && not traced in
+      let record_ev now kind arg1 arg2 =
+        Growbuf.F.push a.Arena.tr_times now;
+        Growbuf.I.push a.Arena.tr_a (kind lor (arg1 lsl 2));
+        Growbuf.I.push a.Arena.tr_b arg2
+      in
+      let fail fmt =
+        Printf.ksprintf
+          (fun s -> raise (Policy_error (policy.name ^ ": " ^ s)))
+          fmt
+      in
+      let reveal now i =
+        state.(i) <- st_available;
+        incr ready_count;
+        if recording then begin
+          if Float.is_nan first_ready.(i) then first_ready.(i) <- now;
+          record_ev now ev_ready i 0
+        end;
+        if traced then
+          Tracer.record_instant tracer ~time:now ~kind:Tracer.Ready ~subject:i;
+        policy.on_ready ~now (Dag.task dag i)
+      in
+      (* A task whose precedence constraints are satisfied at [now] is
+         revealed immediately, or scheduled as a future Reveal if not yet
+         released. *)
+      let reveal_or_defer now i =
+        if release i <= now then reveal now i
+        else begin
+          if traced then
+            Tracer.record_instant tracer ~time:now ~kind:Tracer.Deferred
+              ~subject:i;
+          Event_queue.add events ~time:(release i) (enc_reveal i)
+        end
+      in
+      (* A recursive function rather than an inner [let rec loop () = ...]:
+         the inner closure would be rebuilt on every scheduling instant. *)
+      let rec launch_round_untimed now =
+        begin
+          let free = Platform.free_count platform in
+          if free > 0 then
+            match policy.next_launch ~now ~free with
+            | None ->
+              counters.Metrics.stall_checks <-
+                counters.Metrics.stall_checks + 1;
+              if traced && !ready_count > 0 then
+                Tracer.record_instant tracer ~time:now ~kind:Tracer.Stall
+                  ~subject:(-1)
+            | Some (tid, nprocs) ->
+              if tid < 0 || tid >= n then fail "launched unknown task %d" tid;
+              (if state.(tid) <> st_available then
+                 if state.(tid) = st_unrevealed then
+                   fail "launched unrevealed task %d" tid
+                 else if state.(tid) = st_running then
+                   fail "launched running task %d" tid
+                 else fail "launched completed task %d" tid);
+              if nprocs < 1 then fail "task %d launched on %d procs" tid nprocs;
+              if nprocs > free then
+                fail "task %d needs %d procs but only %d are free" tid nprocs
+                  free;
+              (* The attempt cap is checked before any resource is acquired
+                 or queued, so a violation leaves the platform and event
+                 queue untouched. *)
+              if attempt_no.(tid) >= max_attempts then
+                failwith
+                  (Printf.sprintf
+                     "Sim_core.run: task %d reached the attempt limit (%d \
+                      attempts, all failed) under failure model %s"
+                     tid max_attempts failures.model_name);
+              let procs = Platform.acquire platform nprocs in
+              let duration = Task.time (Dag.task dag tid) nprocs in
+              state.(tid) <- st_running;
+              decr ready_count;
+              attempt_no.(tid) <- attempt_no.(tid) + 1;
+              counters.Metrics.launches <- counters.Metrics.launches + 1;
+              if recording then begin
+                if Float.is_nan first_start.(tid) then first_start.(tid) <- now;
+                record_ev now ev_start tid nprocs
+              end;
+              run_start.(tid) <- now;
+              run_procs.(tid) <- procs;
+              Event_queue.add events ~time:(now +. duration) (enc_complete tid);
+              launch_round_untimed now
+        end
+      in
+      let launch_round now =
+        if traced then
+          Tracer.timed tracer "launch-round" (fun () ->
+              launch_round_untimed now)
+        else launch_round_untimed now
+      in
+      let sample_depth now =
+        if recording then begin
+          Growbuf.F.push a.Arena.qd_times now;
+          Growbuf.I.push a.Arena.qd_depths !ready_count
+        end
+      in
+      (* Hoisted out of the batch loop for the same reason as
+         [launch_round_untimed]: a [List.iter] closure over [now] would be
+         one allocation per completion batch. *)
+      let rec unlock_successors now = function
+        | [] -> ()
+        | j :: rest ->
+          indeg.(j) <- indeg.(j) - 1;
+          if indeg.(j) = 0 then reveal_or_defer now j;
+          unlock_successors now rest
+      in
+      List.iter (reveal_or_defer 0.) (Dag.sources dag);
+      launch_round 0.;
+      sample_depth 0.;
+      let event_loop () =
+        while !completed < n do
+          let blen = Event_queue.pop_batch events in
+          if blen = 0 then
+            fail "stalled: %d of %d tasks completed but nothing is running"
+              !completed n
+          else begin
+            let now = Event_queue.batch_time events in
+            counters.Metrics.batches <- counters.Metrics.batches + 1;
+            counters.Metrics.events <- counters.Metrics.events + blen;
+            let outcomes = Arena.outcomes_for a blen in
+            (* Phase 1 — completions: release the processors of every
+               attempt in the batch and classify it (consuming the failure
+               RNG in batch order), so the policy later sees the full free
+               count of this instant. *)
+            for k = 0 to blen - 1 do
+              let payload = Event_queue.batch_payload events k in
+              if payload land 1 = 1 then begin
+                let tid = payload lsr 1 in
+                let stamp = Event_queue.batch_stamp events k in
+                let attempt = attempt_no.(tid) in
+                let start = run_start.(tid) in
+                let procs = run_procs.(tid) in
+                let failed = failures.fails rng ~task_id:tid ~attempt in
+                if recording then begin
+                  (* Attempt records report the batch instant as their
+                     finish (the instant the attempt's outcome became
+                     known); the schedule keeps the exact stamp. *)
+                  Growbuf.I.push a.Arena.at_ints tid;
+                  Growbuf.I.push a.Arena.at_ints attempt;
+                  Growbuf.I.push a.Arena.at_ints
+                    ((Array.length procs lsl 1) lor Bool.to_int failed);
+                  Growbuf.F.push a.Arena.at_floats start;
+                  Growbuf.F.push a.Arena.at_floats now;
+                  Growbuf.A.push a.Arena.at_procs procs;
+                  service.(tid) <- service.(tid) +. (now -. start)
+                end;
+                if traced then
+                  Tracer.record_span tracer ~task_id:tid ~attempt ~t0:start
+                    ~t1:now ~procs ~failed;
+                if now > makespan.(0) then makespan.(0) <- now;
+                if failed then begin
+                  if recycle_ok then Platform.recycle platform procs
+                  else Platform.release platform procs;
+                  incr n_failures;
+                  counters.Metrics.retries <- counters.Metrics.retries + 1;
+                  if recording then record_ev now ev_failed tid attempt;
+                  outcomes.(k) <- 1
+                end
+                else begin
+                  Platform.release platform procs;
+                  state.(tid) <- st_done;
+                  incr completed;
+                  if recording then record_ev now ev_finish tid 0;
+                  Schedule.add builder
+                    { Schedule.task_id = tid; start; finish = stamp;
+                      nprocs = Array.length procs; procs };
+                  outcomes.(k) <- 0
+                end
+              end
+              else outcomes.(k) <- 2
+            done;
+            (* Phase 2 — reveals, in batch order: failed attempts go back
+               to the policy (a stateless allocator naturally re-allocates
+               them) and release-time reveals fire. *)
+            for k = 0 to blen - 1 do
+              if outcomes.(k) <> 0 then
+                reveal now (Event_queue.batch_payload events k lsr 1)
+            done;
+            (* Phase 3 — precedence: successors unlocked by this batch's
+               successful completions, still in batch order. *)
+            for k = 0 to blen - 1 do
+              if outcomes.(k) = 0 then
+                unlock_successors now
+                  (Dag.successors dag
+                     (Event_queue.batch_payload events k lsr 1))
+            done;
+            launch_round now;
+            sample_depth now
+          end
+        done
+      in
+      if traced then Tracer.timed tracer "event-loop" event_loop
+      else event_loop ();
+      let attempts =
+        if lean then []
+        else begin
+          let m = Growbuf.A.length a.Arena.at_procs in
+          let lst = ref [] in
+          for k = m - 1 downto 0 do
+            let packed = Growbuf.I.get a.Arena.at_ints ((3 * k) + 2) in
+            lst :=
+              {
+                task_id = Growbuf.I.get a.Arena.at_ints (3 * k);
+                attempt = Growbuf.I.get a.Arena.at_ints ((3 * k) + 1);
+                start = Growbuf.F.get a.Arena.at_floats (2 * k);
+                finish = Growbuf.F.get a.Arena.at_floats ((2 * k) + 1);
+                nprocs = packed lsr 1;
+                procs = Growbuf.A.get a.Arena.at_procs k;
+                failed = packed land 1 = 1;
+              }
+              :: !lst
+          done;
+          List.sort
+            (fun x y ->
+              match Float.compare x.start y.start with
+              | 0 -> (
+                match Int.compare x.task_id y.task_id with
+                | 0 -> Int.compare x.attempt y.attempt
+                | c -> c)
+              | c -> c)
+            !lst
+        end
+      in
+      let schedule = Schedule.finalize builder in
+      let trace =
+        if lean then []
+        else begin
+          let m = Growbuf.F.length a.Arena.tr_times in
+          let lst = ref [] in
+          for k = m - 1 downto 0 do
+            let packed = Growbuf.I.get a.Arena.tr_a k in
+            let arg1 = packed lsr 2 and b = Growbuf.I.get a.Arena.tr_b k in
+            let ev =
+              match packed land 3 with
+              | 0 -> Ready arg1
+              | 1 -> Start (arg1, b)
+              | 2 -> Finish arg1
+              | _ -> Failed (arg1, b)
+            in
+            lst := (Growbuf.F.get a.Arena.tr_times k, ev) :: !lst
+          done;
+          !lst
+        end
+      in
+      let metrics =
+        if lean then
+          Metrics.build ~p ~counters ~queue_depth:[] ~tasks:[||] ~spans:[]
+        else begin
+          let tasks =
+            Array.init n (fun i ->
+                {
+                  Metrics.task_id = i;
+                  ready = first_ready.(i);
+                  start = first_start.(i);
+                  finish = (Schedule.placement schedule i).Schedule.finish;
+                  wait = first_start.(i) -. first_ready.(i);
+                  service = service.(i);
+                  attempts = attempt_no.(i);
+                })
+          in
+          let queue_depth =
+            List.init (Growbuf.F.length a.Arena.qd_times) (fun k ->
+                ( Growbuf.F.get a.Arena.qd_times k,
+                  Growbuf.I.get a.Arena.qd_depths k ))
+          in
+          let spans =
+            List.map (fun at -> (at.start, at.finish, at.nprocs)) attempts
+          in
+          Metrics.build ~p ~counters ~queue_depth ~tasks ~spans
+        end
+      in
+      (* Publish the run counters to an attached telemetry registry in one
+         shot: the totals are identical to incrementing per event, and the
+         hot loop stays untouched (a [Registry.null] run skips this block
+         entirely). *)
+      (let module R = Moldable_obs.Registry in
+       if R.enabled registry then begin
+         let c name help v =
+           R.incr_by (R.counter registry ~name ~help) (float_of_int v)
+         in
+         c "moldable_sim_events" "Simulation events processed"
+           counters.Metrics.events;
+         c "moldable_sim_batches" "Simultaneous-completion batches processed"
+           counters.Metrics.batches;
+         c "moldable_sim_launches" "Task attempts launched"
+           counters.Metrics.launches;
+         c "moldable_sim_retries" "Failed attempts re-queued for retry"
+           counters.Metrics.retries;
+         c "moldable_sim_stall_checks"
+           "Launch rounds the policy ended by declining to launch"
+           counters.Metrics.stall_checks;
+         c "moldable_sim_runs" "Completed simulation runs" 1
+       end);
+      {
+        schedule;
+        trace;
+        attempts;
+        makespan = makespan.(0);
+        n_attempts = counters.Metrics.launches;
+        n_failures = !n_failures;
+        metrics;
+      })
+
+(* ----------------------------------------------------- reference event loop *)
+
+(* The pre-arena event loop, kept verbatim as the differential oracle for
+   the allocation-lean [run] above (the same pattern as
+   [Online_scheduler.policy_reference]): boxed event records on a
+   closure-compared [Pqueue], cons-list trace/attempts/depth-sample
+   recording, a fresh platform and fresh arrays per run.  The qcheck
+   properties in test/test_sim_core.ml pin [run] to it across priority
+   rules, allocators, failure models and release times, and bench section
+   [alloc_lean] measures the allocation delta between the two. *)
+
+module Ref_queue = struct
+  type 'a item = { time : float; seq : int; payload : 'a }
+  type 'a t = { heap : 'a item Pqueue.t; mutable next_seq : int }
+
+  let cmp a b =
+    match Float.compare a.time b.time with
+    | 0 -> Int.compare a.seq b.seq
+    | c -> c
+
+  let create () = { heap = Pqueue.create ~cmp; next_seq = 0 }
+
+  let add t ~time payload =
+    if not (Float.is_finite time) then
+      invalid_arg "Event_queue.add: time must be finite";
+    Pqueue.push t.heap { time; seq = t.next_seq; payload };
+    t.next_seq <- t.next_seq + 1
+
+  let pop t =
+    Option.map (fun i -> (i.time, i.payload)) (Pqueue.pop t.heap)
+
+  let pop_simultaneous t =
+    match pop t with
+    | None -> None
+    | Some (time, first) ->
+      let rec gather latest acc =
+        match Pqueue.peek t.heap with
+        | Some i when Fcmp.approx ~eps:Event_queue.batch_eps i.time time ->
+          let i = Pqueue.pop_exn t.heap in
+          gather i.time (i.payload :: acc)
+        | Some _ | None -> (latest, List.rev acc)
+      in
+      let latest, batch = gather time [ first ] in
+      Some (latest, batch)
+end
+
+type ref_state = Unrevealed | Available | Running | Done
+
+type ref_event =
+  | RComplete of { tid : int; attempt : int; start : float; finish : float;
+                   procs : int array }
+  | RReveal of int
+
+let run_reference ?release_times ?(seed = 0) ?(max_attempts = max_int)
+    ?(failures = never) ?(tracer = Tracer.null)
+    ?(registry = Moldable_obs.Registry.null) ~p policy dag =
+  let n = Dag.n dag in
+  let traced = Tracer.enabled tracer in
+  validate_inputs ?release_times ~max_attempts ~n ();
   let release i =
     match release_times with None -> 0. | Some r -> r.(i)
   in
   let rng = Rng.create seed in
   let platform = Platform.create p in
   let builder = Schedule.builder ~p ~n in
-  let events = Event_queue.create () in
+  let events = Ref_queue.create () in
   let state = Array.make n Unrevealed in
   let indeg = Array.init n (Dag.in_degree dag) in
   let attempt_no = Array.make n 0 in
@@ -104,8 +631,6 @@ let run ?release_times ?(seed = 0) ?(max_attempts = max_int)
   let trace = ref [] in
   let attempts = ref [] in
   let n_failures = ref 0 in
-  (* Observability state: counters mutate in place; the ready count and
-     per-task arrays feed the Metrics report after the run. *)
   let counters = Metrics.make_counters () in
   let ready_count = ref 0 in
   let depth_samples = ref [] in
@@ -127,14 +652,13 @@ let run ?release_times ?(seed = 0) ?(max_attempts = max_int)
       Tracer.record_instant tracer ~time:now ~kind:Tracer.Ready ~subject:i;
     policy.on_ready ~now (Dag.task dag i)
   in
-  (* A task whose precedence constraints are satisfied at [now] is revealed
-     immediately, or scheduled as a future Reveal if not yet released. *)
   let reveal_or_defer now i =
     if release i <= now then reveal now i
     else begin
       if traced then
-        Tracer.record_instant tracer ~time:now ~kind:Tracer.Deferred ~subject:i;
-      Event_queue.add events ~time:(release i) (Reveal i)
+        Tracer.record_instant tracer ~time:now ~kind:Tracer.Deferred
+          ~subject:i;
+      Ref_queue.add events ~time:(release i) (RReveal i)
     end
   in
   let launch_round_untimed now =
@@ -157,9 +681,6 @@ let run ?release_times ?(seed = 0) ?(max_attempts = max_int)
           if nprocs < 1 then fail "task %d launched on %d procs" tid nprocs;
           if nprocs > free then
             fail "task %d needs %d procs but only %d are free" tid nprocs free;
-          (* The attempt cap is checked before any resource is acquired or
-             queued, so a violation leaves the platform and event queue
-             untouched. *)
           if attempt_no.(tid) >= max_attempts then
             failwith
               (Printf.sprintf
@@ -174,9 +695,9 @@ let run ?release_times ?(seed = 0) ?(max_attempts = max_int)
           if Float.is_nan first_start.(tid) then first_start.(tid) <- now;
           counters.Metrics.launches <- counters.Metrics.launches + 1;
           record now (Start (tid, nprocs));
-          Event_queue.add events
+          Ref_queue.add events
             ~time:(now +. duration)
-            (Complete
+            (RComplete
                { tid; attempt = attempt_no.(tid); start = now;
                  finish = now +. duration; procs });
           loop ()
@@ -188,93 +709,89 @@ let run ?release_times ?(seed = 0) ?(max_attempts = max_int)
       Tracer.timed tracer "launch-round" (fun () -> launch_round_untimed now)
     else launch_round_untimed now
   in
-  let sample_depth now = depth_samples := (now, !ready_count) :: !depth_samples in
+  let sample_depth now =
+    depth_samples := (now, !ready_count) :: !depth_samples
+  in
   List.iter (reveal_or_defer 0.) (Dag.sources dag);
   launch_round 0.;
   sample_depth 0.;
   let event_loop () =
-  while !completed < n do
-    match Event_queue.pop_simultaneous events with
-    | None ->
-      fail "stalled: %d of %d tasks completed but nothing is running"
-        !completed n
-    | Some (now, batch) ->
-      counters.Metrics.batches <- counters.Metrics.batches + 1;
-      counters.Metrics.events <- counters.Metrics.events + List.length batch;
-      (* Phase 1 — completions: release the processors of every attempt in
-         the batch and classify it (consuming the failure RNG in batch
-         order), so the policy later sees the full free count of this
-         instant. *)
-      let outcomes =
-        List.map
+    while !completed < n do
+      match Ref_queue.pop_simultaneous events with
+      | None ->
+        fail "stalled: %d of %d tasks completed but nothing is running"
+          !completed n
+      | Some (now, batch) ->
+        counters.Metrics.batches <- counters.Metrics.batches + 1;
+        counters.Metrics.events <- counters.Metrics.events + List.length batch;
+        let outcomes =
+          List.map
+            (function
+              | RComplete { tid; attempt; start; finish; procs } ->
+                Platform.release platform procs;
+                let failed = failures.fails rng ~task_id:tid ~attempt in
+                attempts :=
+                  { task_id = tid; attempt; start; finish = now;
+                    nprocs = Array.length procs; procs; failed }
+                  :: !attempts;
+                if traced then
+                  Tracer.record_span tracer ~task_id:tid ~attempt ~t0:start
+                    ~t1:now ~procs ~failed;
+                service.(tid) <- service.(tid) +. (now -. start);
+                if failed then begin
+                  incr n_failures;
+                  counters.Metrics.retries <- counters.Metrics.retries + 1;
+                  record now (Failed (tid, attempt));
+                  `Failed tid
+                end
+                else begin
+                  state.(tid) <- Done;
+                  incr completed;
+                  record now (Finish tid);
+                  Schedule.add builder
+                    { Schedule.task_id = tid; start; finish;
+                      nprocs = Array.length procs; procs };
+                  `Succeeded tid
+                end
+              | RReveal i -> `Revealed i)
+            batch
+        in
+        List.iter
           (function
-            | Complete { tid; attempt; start; finish; procs } ->
-              Platform.release platform procs;
-              let failed = failures.fails rng ~task_id:tid ~attempt in
-              attempts :=
-                { task_id = tid; attempt; start; finish = now;
-                  nprocs = Array.length procs; procs; failed }
-                :: !attempts;
-              if traced then
-                Tracer.record_span tracer ~task_id:tid ~attempt ~t0:start
-                  ~t1:now ~procs ~failed;
-              service.(tid) <- service.(tid) +. (now -. start);
-              if failed then begin
-                incr n_failures;
-                counters.Metrics.retries <- counters.Metrics.retries + 1;
-                record now (Failed (tid, attempt));
-                `Failed tid
-              end
-              else begin
-                state.(tid) <- Done;
-                incr completed;
-                record now (Finish tid);
-                Schedule.add builder
-                  { Schedule.task_id = tid; start; finish;
-                    nprocs = Array.length procs; procs };
-                `Succeeded tid
-              end
-            | Reveal i -> `Revealed i)
-          batch
-      in
-      (* Phase 2 — reveals, in batch order: failed attempts go back to the
-         policy (a stateless allocator naturally re-allocates them) and
-         release-time reveals fire. *)
-      List.iter
-        (function
-          | `Failed tid -> reveal now tid
-          | `Revealed i -> reveal now i
-          | `Succeeded _ -> ())
-        outcomes;
-      (* Phase 3 — precedence: successors unlocked by this batch's
-         successful completions, still in batch order. *)
-      List.iter
-        (function
-          | `Succeeded tid ->
-            List.iter
-              (fun j ->
-                indeg.(j) <- indeg.(j) - 1;
-                if indeg.(j) = 0 then reveal_or_defer now j)
-              (Dag.successors dag tid)
-          | `Failed _ | `Revealed _ -> ())
-        outcomes;
-      launch_round now;
-      sample_depth now
-  done
+            | `Failed tid -> reveal now tid
+            | `Revealed i -> reveal now i
+            | `Succeeded _ -> ())
+          outcomes;
+        List.iter
+          (function
+            | `Succeeded tid ->
+              List.iter
+                (fun j ->
+                  indeg.(j) <- indeg.(j) - 1;
+                  if indeg.(j) = 0 then reveal_or_defer now j)
+                (Dag.successors dag tid)
+            | `Failed _ | `Revealed _ -> ())
+          outcomes;
+        launch_round now;
+        sample_depth now
+    done
   in
   if traced then Tracer.timed tracer "event-loop" event_loop
   else event_loop ();
   let attempts =
     List.sort
-      (fun a b ->
-        match compare a.start b.start with
-        | 0 -> compare (a.task_id, a.attempt) (b.task_id, b.attempt)
+      (fun x y ->
+        match Float.compare x.start y.start with
+        | 0 -> (
+          match Int.compare x.task_id y.task_id with
+          | 0 -> Int.compare x.attempt y.attempt
+          | c -> c)
         | c -> c)
       !attempts
   in
   let schedule = Schedule.finalize builder in
   let makespan =
-    List.fold_left (fun acc a -> Float.max acc a.finish) 0. attempts
+    List.fold_left (fun acc at -> Float.max acc at.finish) 0. attempts
   in
   let tasks =
     Array.init n (fun i ->
@@ -288,14 +805,11 @@ let run ?release_times ?(seed = 0) ?(max_attempts = max_int)
           attempts = attempt_no.(i);
         })
   in
-  let spans = List.map (fun a -> (a.start, a.finish, a.nprocs)) attempts in
+  let spans = List.map (fun at -> (at.start, at.finish, at.nprocs)) attempts in
   let metrics =
     Metrics.build ~p ~counters ~queue_depth:(List.rev !depth_samples) ~tasks
       ~spans
   in
-  (* Publish the run counters to an attached telemetry registry in one shot:
-     the totals are identical to incrementing per event, and the hot loop
-     stays untouched (a [Registry.null] run skips this block entirely). *)
   (let module R = Moldable_obs.Registry in
    if R.enabled registry then begin
      let c name help v =

@@ -76,14 +76,36 @@ type attempt = {
 type result = {
   schedule : Schedule.t;
       (** One placement per task: its successful attempt. *)
-  trace : (float * event) list;  (** Chronological. *)
+  trace : (float * event) list;  (** Chronological.  Empty in lean mode. *)
   attempts : attempt list;
-      (** Chronological (by start, then task id and attempt). *)
+      (** Chronological (by start, then task id and attempt).  Empty in
+          lean mode. *)
   makespan : float;
   n_attempts : int;
   n_failures : int;
   metrics : Metrics.t;
 }
+
+(** Reusable per-run storage: the event heap, per-task bookkeeping arrays,
+    recording buffers and the platform (with its recycled segment pool),
+    all sized to the (p, n) high-water mark of the runs that used the
+    arena.  Passing the same arena to successive {!run}s makes the steady
+    state of a sweep allocation-free outside the result values themselves.
+
+    An arena is single-run at a time: if a run is asked to use an arena
+    that is already in use (reentrancy through a policy callback, or
+    sharing across domains), it silently falls back to a private fresh
+    arena, so correctness never depends on arena discipline. *)
+module Arena : sig
+  type t
+
+  val create : unit -> t
+
+  val for_current_domain : unit -> t
+  (** The calling domain's own arena (one per domain, created on first
+      use via domain-local storage) — the natural choice inside
+      {!Moldable_util.Pool} workers, which are long-lived. *)
+end
 
 val run :
   ?release_times:float array ->
@@ -92,6 +114,8 @@ val run :
   ?failures:failure_model ->
   ?tracer:Tracer.t ->
   ?registry:Moldable_obs.Registry.t ->
+  ?arena:Arena.t ->
+  ?lean:bool ->
   p:int ->
   policy ->
   Dag.t ->
@@ -101,7 +125,13 @@ val run :
     [release_times] (indexed by task id, non-negative, length [Dag.n])
     delays the reveal of each task to the maximum of its release time and
     the completion of its last predecessor.  [seed] (default 0) seeds the
-    failure RNG.  [max_attempts] (default unlimited) bounds the attempts
+    failure RNG.  [arena] supplies reusable per-run storage (see {!Arena});
+    by default every run allocates fresh storage.  [lean:true] (default
+    [false]) skips all trace/attempt/metric recording for makespan-only
+    consumers: the result's [trace] and [attempts] are [[]] and [metrics]
+    carries only the run counters, while [schedule], [makespan],
+    [n_attempts] and [n_failures] are exactly those of the full run.
+    [max_attempts] (default unlimited) bounds the attempts
     per task; the bound is checked {e before} any processor is acquired or
     event queued, and the error names the task, its attempt count and the
     failure model.  [failures] defaults to {!never}.
@@ -123,3 +153,21 @@ val run :
     @raise Policy_error on policy misbehaviour.
     @raise Invalid_argument on ill-formed release times or [max_attempts].
     @raise Failure when a task would exceed [max_attempts]. *)
+
+val run_reference :
+  ?release_times:float array ->
+  ?seed:int ->
+  ?max_attempts:int ->
+  ?failures:failure_model ->
+  ?tracer:Tracer.t ->
+  ?registry:Moldable_obs.Registry.t ->
+  p:int ->
+  policy ->
+  Dag.t ->
+  result
+(** The pre-arena event loop, kept verbatim as the differential oracle for
+    {!run}: boxed event records on a closure-compared priority queue,
+    cons-list recording, fresh storage per run.  Produces bit-identical
+    schedules, traces, attempts and metrics to a full-mode {!run}; the
+    qcheck properties in the test suite and the [alloc_lean] bench section
+    pin the two against each other. *)

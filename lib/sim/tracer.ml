@@ -97,7 +97,7 @@ let record_instant t ~time ~kind ~subject =
 let decisions t =
   Hashtbl.fold (fun _ d acc -> d :: acc) t.decisions []
   |> List.sort (fun (a : decision) (b : decision) ->
-         compare a.task_id b.task_id)
+         Int.compare a.task_id b.task_id)
 
 let decision_for t task_id = Hashtbl.find_opt t.decisions task_id
 
@@ -105,7 +105,10 @@ let spans t =
   List.sort
     (fun a b ->
       match Float.compare a.t0 b.t0 with
-      | 0 -> compare (a.task_id, a.attempt) (b.task_id, b.attempt)
+      | 0 -> (
+        match Int.compare a.task_id b.task_id with
+        | 0 -> Int.compare a.attempt b.attempt
+        | c -> c)
       | c -> c)
     t.spans
 

@@ -52,7 +52,7 @@ let check ?(pool = Moldable_util.Pool.sequential) ~dag sched =
   let events =
     List.sort
       (fun (ta, ka, _) (tb, kb, _) ->
-        match compare ta tb with 0 -> compare ka kb | c -> c)
+        match Float.compare ta tb with 0 -> Int.compare ka kb | c -> c)
       !events
   in
   let occupied = Array.make (Schedule.p sched) (-1) in

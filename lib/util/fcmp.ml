@@ -15,4 +15,4 @@ let clamp ~lo ~hi x =
   if x < lo then lo else if x > hi then hi else x
 
 let compare_approx ?(eps = default_eps) a b =
-  if approx ~eps a b then 0 else compare a b
+  if approx ~eps a b then 0 else Float.compare a b

@@ -1,0 +1,74 @@
+module F = struct
+  type t = { mutable data : float array; mutable len : int }
+
+  let create ?(capacity = 64) () =
+    { data = Array.make (max 1 capacity) 0.; len = 0 }
+
+  let clear t = t.len <- 0
+  let length t = t.len
+
+  let push t x =
+    let cap = Array.length t.data in
+    if t.len = cap then begin
+      let ndata = Array.make (2 * cap) 0. in
+      Array.blit t.data 0 ndata 0 t.len;
+      t.data <- ndata
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let get t i =
+    if i < 0 || i >= t.len then invalid_arg "Growbuf.F.get: index out of range";
+    t.data.(i)
+end
+
+module I = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create ?(capacity = 64) () =
+    { data = Array.make (max 1 capacity) 0; len = 0 }
+
+  let clear t = t.len <- 0
+  let length t = t.len
+
+  let push t x =
+    let cap = Array.length t.data in
+    if t.len = cap then begin
+      let ndata = Array.make (2 * cap) 0 in
+      Array.blit t.data 0 ndata 0 t.len;
+      t.data <- ndata
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let get t i =
+    if i < 0 || i >= t.len then invalid_arg "Growbuf.I.get: index out of range";
+    t.data.(i)
+end
+
+module A = struct
+  type 'a t = { dummy : 'a; mutable data : 'a array; mutable len : int }
+
+  let create ?(capacity = 64) ~dummy () =
+    { dummy; data = Array.make (max 1 capacity) dummy; len = 0 }
+
+  let clear t =
+    Array.fill t.data 0 t.len t.dummy;
+    t.len <- 0
+
+  let length t = t.len
+
+  let push t x =
+    let cap = Array.length t.data in
+    if t.len = cap then begin
+      let ndata = Array.make (2 * cap) t.dummy in
+      Array.blit t.data 0 ndata 0 t.len;
+      t.data <- ndata
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let get t i =
+    if i < 0 || i >= t.len then invalid_arg "Growbuf.A.get: index out of range";
+    t.data.(i)
+end

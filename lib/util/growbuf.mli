@@ -1,0 +1,47 @@
+(** Growable typed buffers: append-only arrays that double in place.
+
+    The simulation core records its trace, attempt and queue-depth streams
+    into these instead of cons lists — a push is an array store (amortized;
+    no per-element boxing for the float and int variants), and the buffers
+    are [clear]ed and reused across runs by the arena.  The recorded
+    prefix converts to the public list shapes once, at the end of a run. *)
+
+module F : sig
+  (** Unboxed float buffer. *)
+
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val clear : t -> unit
+  val length : t -> int
+  val push : t -> float -> unit
+  val get : t -> int -> float
+end
+
+module I : sig
+  (** Int buffer. *)
+
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val clear : t -> unit
+  val length : t -> int
+  val push : t -> int -> unit
+  val get : t -> int -> int
+end
+
+module A : sig
+  (** Boxed element buffer (one pointer slot per element, no cons cells).
+      [create ~dummy] needs a sentinel to fill unused capacity. *)
+
+  type 'a t
+
+  val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+  val clear : 'a t -> unit
+  (** Resets the length and overwrites the used prefix with the dummy, so
+      a cleared buffer does not retain the previous run's elements. *)
+
+  val length : 'a t -> int
+  val push : 'a t -> 'a -> unit
+  val get : 'a t -> int -> 'a
+end

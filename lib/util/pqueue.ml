@@ -30,14 +30,15 @@ let rec sift_up t i =
 
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
-  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
-  if !smallest <> i then begin
+  (* Immutable locals instead of a [ref]: sift-down runs once per level on
+     every pop, and the ref was one minor allocation per level. *)
+  let s = if l < t.size && t.cmp t.data.(l) t.data.(i) < 0 then l else i in
+  let s = if r < t.size && t.cmp t.data.(r) t.data.(s) < 0 then r else s in
+  if s <> i then begin
     let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
+    t.data.(i) <- t.data.(s);
+    t.data.(s) <- tmp;
+    sift_down t s
   end
 
 let push t x =
@@ -47,6 +48,10 @@ let push t x =
   sift_up t (t.size - 1)
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let top t =
+  if t.size = 0 then invalid_arg "Pqueue.top: empty queue";
+  t.data.(0)
 
 let pop t =
   if t.size = 0 then None
@@ -60,10 +65,17 @@ let pop t =
     Some top
   end
 
+(* Not [pop |> Option.get]: the hot ready-queue path pops once per launch
+   and the intermediate [Some] would be a needless allocation. *)
 let pop_exn t =
-  match pop t with
-  | Some x -> x
-  | None -> invalid_arg "Pqueue.pop_exn: empty queue"
+  if t.size = 0 then invalid_arg "Pqueue.pop_exn: empty queue";
+  let top = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.data.(0) <- t.data.(t.size);
+    sift_down t 0
+  end;
+  top
 
 let push_list t xs = List.iter (push t) xs
 

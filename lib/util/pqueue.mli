@@ -12,6 +12,11 @@ val is_empty : 'a t -> bool
 
 val push : 'a t -> 'a -> unit
 val peek : 'a t -> 'a option
+
+val top : 'a t -> 'a
+(** Option-free {!peek} for hot paths that know the queue is non-empty.
+    @raise Invalid_argument on an empty queue. *)
+
 val pop : 'a t -> 'a option
 
 val pop_exn : 'a t -> 'a

@@ -1,9 +1,19 @@
+(* Internal layout: the segment tree caches, per node, the *bucket key*
+   (1..k) holding the least element of that subtree, with 0 meaning the
+   subtree is empty.  Caching int keys instead of ['a option] items keeps
+   every push/pop allocation-free (no [Some] per cached minimum, no
+   [(node, item)] pair during the prefix decomposition) — this structure is
+   the online scheduler's ready queue, hit twice per launched task.  The
+   cached key is dereferenced through the bucket's live top, which is
+   exactly the item the old design cached: ancestors are refreshed on every
+   push/pop of a bucket, so a cached key always points at a non-empty
+   bucket whose top is its subtree's minimum. *)
 type 'a t = {
   cmp : 'a -> 'a -> int;
   k : int;
   base : int; (* smallest power of two >= k; leaf for key j is base + j - 1 *)
-  tree : 'a option array; (* 1-indexed heap layout; cached bucket minima *)
-  buckets : 'a Pqueue.t option array; (* index 1..k, created lazily *)
+  tree : int array; (* 1-indexed heap layout; cached min's bucket key or 0 *)
+  buckets : 'a Pqueue.t array; (* index 1..k; slot 0 is an unused dummy *)
   mutable length : int;
 }
 
@@ -17,102 +27,85 @@ let create ~k ~cmp =
     cmp;
     k;
     base = !base;
-    tree = Array.make (2 * !base) None;
-    buckets = Array.make (k + 1) None;
+    tree = Array.make (2 * !base) 0;
+    buckets = Array.init (k + 1) (fun _ -> Pqueue.create ~cmp);
     length = 0;
   }
 
 let length t = t.length
 let is_empty t = t.length = 0
 
-let min_opt cmp a b =
-  match (a, b) with
-  | None, x | x, None -> x
-  | Some x, Some y -> if cmp x y <= 0 then a else b
+(* The bucket key with the lesser top; ties keep [a] (the left/earlier
+   candidate), matching the old option-cached behaviour. *)
+let min_key t a b =
+  if a = 0 then b
+  else if b = 0 then a
+  else if t.cmp (Pqueue.top t.buckets.(a)) (Pqueue.top t.buckets.(b)) <= 0
+  then a
+  else b
 
-(* Recompute cached minima from [node]'s parent up to the root. *)
-let update_path t node =
-  let i = ref (node / 2) in
-  while !i >= 1 do
-    t.tree.(!i) <- min_opt t.cmp t.tree.(2 * !i) t.tree.((2 * !i) + 1);
-    i := !i / 2
-  done
+(* Recompute cached minima from [node] up to the root. *)
+let rec update_path t node =
+  if node >= 1 then begin
+    t.tree.(node) <- min_key t t.tree.(2 * node) t.tree.((2 * node) + 1);
+    update_path t (node / 2)
+  end
 
 let push t ~key x =
   if key < 1 || key > t.k then
     invalid_arg
       (Printf.sprintf "Prefix_min.push: key %d outside [1, %d]" key t.k);
-  let b =
-    match t.buckets.(key) with
-    | Some b -> b
-    | None ->
-      let b = Pqueue.create ~cmp:t.cmp in
-      t.buckets.(key) <- Some b;
-      b
-  in
-  Pqueue.push b x;
+  Pqueue.push t.buckets.(key) x;
   let leaf = t.base + key - 1 in
-  t.tree.(leaf) <- Pqueue.peek b;
-  update_path t leaf;
+  t.tree.(leaf) <- key;
+  update_path t (leaf / 2);
   t.length <- t.length + 1
 
-(* The decomposition node of the range [1, key] whose cached minimum is the
-   overall prefix minimum, paired with that minimum.  (The prefix minimum
-   need not be the global minimum, so a later descent must start from this
-   node, not the root.) *)
-let best_node t ~key =
+(* The bucket key holding the minimum of the leaf range [1, key], or 0 when
+   that range is empty: the standard bottom-up decomposition, considering
+   the left boundary before the right at each level (the old item-cached
+   traversal's order; [cmp] is total, so order only breaks unreachable
+   ties). *)
+let best_key t ~key =
   let key = min key t.k in
-  if key < 1 then None
+  if key < 1 then 0
   else begin
-    (* Standard bottom-up decomposition of the leaf range [1, key]. *)
-    let lo = ref t.base and hi = ref (t.base + key - 1) in
-    let best = ref None in
-    let consider i =
-      match t.tree.(i) with
-      | None -> ()
-      | Some x -> (
-        match !best with
-        | Some (_, bx) when t.cmp bx x <= 0 -> ()
-        | _ -> best := Some (i, x))
+    let consider best cand =
+      if cand = 0 then best
+      else if best = 0 then cand
+      else if t.cmp (Pqueue.top t.buckets.(cand)) (Pqueue.top t.buckets.(best))
+              < 0
+      then cand
+      else best
     in
-    while !lo <= !hi do
-      if !lo land 1 = 1 then begin
-        consider !lo;
-        incr lo
-      end;
-      if !hi land 1 = 0 then begin
-        consider !hi;
-        decr hi
-      end;
-      lo := !lo / 2;
-      hi := !hi / 2
-    done;
-    !best
+    let rec go lo hi best =
+      if lo > hi then best
+      else begin
+        let best = if lo land 1 = 1 then consider best t.tree.(lo) else best in
+        let lo = if lo land 1 = 1 then lo + 1 else lo in
+        let best =
+          if lo <= hi && hi land 1 = 0 then consider best t.tree.(hi) else best
+        in
+        let hi = if hi land 1 = 0 then hi - 1 else hi in
+        go (lo / 2) (hi / 2) best
+      end
+    in
+    go t.base (t.base + key - 1) 0
   end
 
-let peek_prefix t ~key = Option.map snd (best_node t ~key)
+let peek_prefix t ~key =
+  match best_key t ~key with
+  | 0 -> None
+  | bk -> Some (Pqueue.top t.buckets.(bk))
 
 let pop_prefix t ~key =
-  match best_node t ~key with
-  | None -> None
-  | Some (node, v) ->
-    (* Descend to v's leaf: cmp is total, so within [node]'s subtree only
-       v's own child path caches a value comparing equal to it. *)
-    let i = ref node in
-    while !i < t.base do
-      let l = 2 * !i in
-      (match t.tree.(l) with
-      | Some x when t.cmp x v = 0 -> i := l
-      | _ -> i := l + 1)
-    done;
-    let key = !i - t.base + 1 in
-    let b =
-      match t.buckets.(key) with
-      | Some b -> b
-      | None -> assert false
-    in
+  match best_key t ~key with
+  | 0 -> None
+  | bk ->
+    let b = t.buckets.(bk) in
     let x = Pqueue.pop_exn b in
-    t.tree.(!i) <- Pqueue.peek b;
-    update_path t !i;
+    let leaf = t.base + bk - 1 in
+    t.tree.(leaf) <- (if Pqueue.is_empty b then 0 else bk);
+    update_path t (leaf / 2);
     t.length <- t.length - 1;
     Some x

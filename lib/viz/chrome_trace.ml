@@ -65,7 +65,7 @@ let of_run ?label ?registry tracer (metrics : Metrics.t) =
         let lane = s.Tracer.procs.(0) in
         if List.mem lane acc then acc else lane :: acc)
       [] spans
-    |> List.sort compare
+    |> List.sort Int.compare
   in
   List.iter
     (fun lane ->

@@ -13,31 +13,30 @@ let dag_of tasks edges = Dag.create ~tasks ~edges
 
 let test_eq_time_order () =
   let q = Event_queue.create () in
-  Event_queue.add q ~time:3. "c";
-  Event_queue.add q ~time:1. "a";
-  Event_queue.add q ~time:2. "b";
-  Alcotest.(check (option (pair (float 0.) string))) "first" (Some (1., "a"))
+  Event_queue.add q ~time:3. 30;
+  Event_queue.add q ~time:1. 10;
+  Event_queue.add q ~time:2. 20;
+  Alcotest.(check (option (pair (float 0.) int))) "first" (Some (1., 10))
     (Event_queue.pop q);
   Alcotest.(check (option (float 0.))) "next time" (Some 2.)
     (Event_queue.next_time q)
 
 let test_eq_stable_ties () =
   let q = Event_queue.create () in
-  Event_queue.add q ~time:1. "first";
-  Event_queue.add q ~time:1. "second";
-  Event_queue.add q ~time:1. "third";
+  Event_queue.add q ~time:1. 1;
+  Event_queue.add q ~time:1. 2;
+  Event_queue.add q ~time:1. 3;
   match Event_queue.pop_simultaneous q with
   | Some (t, items) ->
     check_float "time" 1. t;
-    Alcotest.(check (list string)) "insertion order"
-      [ "first"; "second"; "third" ] items;
+    Alcotest.(check (list int)) "insertion order" [ 1; 2; 3 ] items;
     Alcotest.(check bool) "drained" true (Event_queue.is_empty q)
   | None -> Alcotest.fail "expected events"
 
 let test_eq_simultaneous_partial () =
   let q = Event_queue.create () in
-  Event_queue.add q ~time:1. "a";
-  Event_queue.add q ~time:2. "b";
+  Event_queue.add q ~time:1. 1;
+  Event_queue.add q ~time:2. 2;
   (match Event_queue.pop_simultaneous q with
   | Some (_, items) -> Alcotest.(check int) "only t=1" 1 (List.length items)
   | None -> Alcotest.fail "expected events");
@@ -47,7 +46,7 @@ let test_eq_rejects_nonfinite () =
   let q = Event_queue.create () in
   Alcotest.check_raises "nan"
     (Invalid_argument "Event_queue.add: time must be finite") (fun () ->
-      Event_queue.add q ~time:Float.nan ())
+      Event_queue.add q ~time:Float.nan 0)
 
 let test_eq_batches_ulp_apart () =
   (* 0.1 +. 0.2 and 0.3 are the same instant computed along two float paths;
@@ -55,8 +54,8 @@ let test_eq_batches_ulp_apart () =
   let t1 = 0.1 +. 0.2 and t2 = 0.3 in
   Alcotest.(check bool) "premise: not exactly equal" false (Float.equal t1 t2);
   let q = Event_queue.create () in
-  Event_queue.add q ~time:t1 "a";
-  Event_queue.add q ~time:t2 "b";
+  Event_queue.add q ~time:t1 1;
+  Event_queue.add q ~time:t2 2;
   (match Event_queue.pop_simultaneous q with
   | Some (t, items) ->
     (* The instant is the batch's latest stamp, so callers acting "at" it
@@ -70,8 +69,8 @@ let test_eq_distinct_times_not_batched () =
   (* The tolerance is relative and tiny: genuinely distinct close times
      stay separate scheduling instants. *)
   let q = Event_queue.create () in
-  Event_queue.add q ~time:1.0 "a";
-  Event_queue.add q ~time:(1.0 +. 1e-9) "b";
+  Event_queue.add q ~time:1.0 1;
+  Event_queue.add q ~time:(1.0 +. 1e-9) 2;
   match Event_queue.pop_simultaneous q with
   | Some (_, items) -> Alcotest.(check int) "only one" 1 (List.length items)
   | None -> Alcotest.fail "expected events"

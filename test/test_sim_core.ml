@@ -17,9 +17,49 @@ open Moldable_core
 
 let check_float = Alcotest.(check (float 1e-9))
 
+(* The seed oracles predate the int-payload flat-heap {!Event_queue}: they
+   carry record/tuple payloads, so they keep a local polymorphic queue with
+   the original semantics (boxed items on a closure-compared [Pqueue],
+   insertion-order tie-break, the same [batch_eps] batching). *)
+module Seed_event_queue = struct
+  type 'a item = { time : float; seq : int; payload : 'a }
+  type 'a t = { heap : 'a item Pqueue.t; mutable next_seq : int }
+
+  let cmp a b =
+    match Float.compare a.time b.time with
+    | 0 -> Int.compare a.seq b.seq
+    | c -> c
+
+  let create () = { heap = Pqueue.create ~cmp; next_seq = 0 }
+
+  let add t ~time payload =
+    if not (Float.is_finite time) then
+      invalid_arg "Event_queue.add: time must be finite";
+    Pqueue.push t.heap { time; seq = t.next_seq; payload };
+    t.next_seq <- t.next_seq + 1
+
+  let pop t = Option.map (fun i -> (i.time, i.payload)) (Pqueue.pop t.heap)
+
+  let pop_simultaneous t =
+    match pop t with
+    | None -> None
+    | Some (time, first) ->
+      let rec gather latest acc =
+        match Pqueue.peek t.heap with
+        | Some i when Fcmp.approx ~eps:Event_queue.batch_eps i.time time ->
+          let i = Pqueue.pop_exn t.heap in
+          gather i.time (i.payload :: acc)
+        | Some _ | None -> (latest, List.rev acc)
+      in
+      let latest, batch = gather time [ first ] in
+      Some (latest, batch)
+end
+
 (* ------------------------------------------------- seed oracle: Engine.run *)
 
 module Seed_engine = struct
+  module Event_queue = Seed_event_queue
+
   type task_state = Unrevealed | Available | Running | Done
   type sim_event = Complete of int * int array | Reveal of int
 
@@ -134,6 +174,8 @@ end
 (* ----------------------------------------- seed oracle: Failure_engine.run *)
 
 module Seed_failure_engine = struct
+  module Event_queue = Seed_event_queue
+
   type task_state = Unrevealed | Available | Running | Done
 
   let run ?(seed = 0) ?(max_attempts = 1000) ~failures ~p policy dag =
@@ -695,6 +737,135 @@ let prop_malleable_phases_unchanged =
       && Float.equal r.Malleable_engine.makespan expected_makespan
       && r.Malleable_engine.completion = expected_completion)
 
+(* ----------------------- allocation-lean core vs the reference event loop *)
+
+let same_result (a : Sim_core.result) (b : Sim_core.result) =
+  same_schedule a.Sim_core.schedule b.Sim_core.schedule
+  && a.Sim_core.trace = b.Sim_core.trace
+  && a.Sim_core.attempts = b.Sim_core.attempts
+  && Float.equal a.Sim_core.makespan b.Sim_core.makespan
+  && a.Sim_core.n_attempts = b.Sim_core.n_attempts
+  && a.Sim_core.n_failures = b.Sim_core.n_failures
+  && a.Sim_core.metrics = b.Sim_core.metrics
+
+let gen_scenario rng =
+  let dag = random_dag rng in
+  let p = Rng.int_range rng 2 32 in
+  let release_times =
+    if Rng.bool rng then
+      Some (Array.init (Dag.n dag) (fun _ -> Rng.float rng 5.))
+    else None
+  in
+  let failures =
+    match Rng.int_range rng 0 2 with
+    | 0 -> Sim_core.never
+    | 1 -> Sim_core.bernoulli ~q:(Rng.float rng 0.6)
+    | _ -> Sim_core.at_most ~k:(Rng.int_range rng 0 3)
+  in
+  (dag, p, release_times, failures)
+
+let allocators = [ Allocator.algorithm2_per_model; Improved_alloc.per_model ]
+
+let prop_arena_core_matches_reference =
+  QCheck.Test.make
+    ~name:"arena core run = run_reference (5 rules x 2 allocators, failure \
+           models, release times)"
+    ~count:30
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let dag, p, release_times, failures = gen_scenario rng in
+      List.for_all
+        (fun priority ->
+          List.for_all
+            (fun allocator ->
+              let reference =
+                Sim_core.run_reference ?release_times ~seed ~failures ~p
+                  (Online_scheduler.policy ~priority ~allocator ~p ())
+                  dag
+              in
+              let actual =
+                Sim_core.run ?release_times ~seed ~failures ~p
+                  (Online_scheduler.policy ~priority ~allocator ~p ())
+                  dag
+              in
+              same_result actual reference)
+            allocators)
+        Priority.all)
+
+let prop_lean_mode_matches_full =
+  QCheck.Test.make
+    ~name:"lean run: identical schedule/makespan/counters, empty recording"
+    ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let dag, p, release_times, failures = gen_scenario rng in
+      List.for_all
+        (fun priority ->
+          let full =
+            Sim_core.run ?release_times ~seed ~failures ~p
+              (fresh_policy ~priority ~p ())
+              dag
+          in
+          let lean =
+            Sim_core.run ~lean:true ?release_times ~seed ~failures ~p
+              (fresh_policy ~priority ~p ())
+              dag
+          in
+          same_schedule lean.Sim_core.schedule full.Sim_core.schedule
+          && Float.equal lean.Sim_core.makespan full.Sim_core.makespan
+          && lean.Sim_core.n_attempts = full.Sim_core.n_attempts
+          && lean.Sim_core.n_failures = full.Sim_core.n_failures
+          && lean.Sim_core.trace = []
+          && lean.Sim_core.attempts = []
+          && lean.Sim_core.metrics.Metrics.counters
+             = full.Sim_core.metrics.Metrics.counters)
+        Priority.all)
+
+let prop_arena_reuse_changes_nothing =
+  QCheck.Test.make
+    ~name:"one arena reused across heterogeneous runs changes nothing"
+    ~count:20
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let arena = Sim_core.Arena.create () in
+      (* A sequence of runs with varying (p, n), priorities, failure models
+         and lean flags through the same arena: each must be bit-identical
+         to a fresh-storage run.  The sequence mixes sizes so the arena's
+         high-water arrays are both grown and partially reused. *)
+      List.for_all
+        (fun _ ->
+          let dag, p, release_times, failures = gen_scenario rng in
+          let priority = Rng.choose rng (Array.of_list Priority.all) in
+          let lean = Rng.bool rng in
+          let fresh =
+            Sim_core.run ~lean ?release_times ~seed ~failures ~p
+              (fresh_policy ~priority ~p ())
+              dag
+          in
+          let reused =
+            Sim_core.run ~arena ~lean ?release_times ~seed ~failures ~p
+              (fresh_policy ~priority ~p ())
+              dag
+          in
+          same_result reused fresh)
+        [ 1; 2; 3; 4; 5; 6 ])
+
+let test_domain_arena_run_one_unchanged () =
+  (* Experiment.run_one now runs lean on the domain's arena; its numbers
+     must match a plain full run. *)
+  let rng = Rng.create 11 in
+  let dag = random_dag rng in
+  let p = 16 in
+  let spec = Moldable_analysis.Experiment.algorithm1 in
+  let mk1, ratio1 = Moldable_analysis.Experiment.run_one ~p spec dag in
+  let full = Online_scheduler.run ~p dag in
+  let mk2 = Schedule.makespan full.Engine.schedule in
+  check_float "makespan matches full run" mk2 mk1;
+  Alcotest.(check bool) "ratio >= 1" true (ratio1 >= 1. -. 1e-9)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "sim_core"
@@ -703,6 +874,14 @@ let () =
         [
           qt prop_core_trace_equivalent_to_seed_engine;
           qt prop_core_attempt_equivalent_to_seed_failure_engine;
+        ] );
+      ( "alloc-lean core",
+        [
+          qt prop_arena_core_matches_reference;
+          qt prop_lean_mode_matches_full;
+          qt prop_arena_reuse_changes_nothing;
+          Alcotest.test_case "run_one on domain arena" `Quick
+            test_domain_arena_run_one_unchanged;
         ] );
       ( "failure extras",
         [

@@ -843,6 +843,183 @@ let test_clock_now_monotone () =
   let b = Clock.now () in
   Alcotest.(check bool) "non-decreasing" true (b >= a)
 
+(* The typed-comparator sweep replaced every polymorphic [compare] on
+   floats with [Float.compare].  Pin the property the sorts rely on:
+   [Float.compare] is a total order even with NaNs (so a sort's result is
+   input-order independent) and agrees with what polymorphic compare gave
+   on floats, NaN included — the swap cannot have reordered anything. *)
+let test_float_compare_nan_total_order () =
+  let xs = [ Float.nan; 1.; Float.neg_infinity; Float.nan; 0.; -0.;
+             Float.infinity; -1.5 ] in
+  let a = List.sort Float.compare xs in
+  let b = List.sort Float.compare (List.rev xs) in
+  Alcotest.(check bool) "sort is input-order independent" true
+    (List.for_all2 (fun x y -> Float.compare x y = 0) a b);
+  Alcotest.(check bool) "agrees with polymorphic compare" true
+    (List.for_all2
+       (fun x y -> Float.compare x y = 0)
+       a
+       (List.sort compare xs));
+  Alcotest.(check int) "nan sorts first" (-1) (Float.compare Float.nan 0.)
+
+(* ------------------------------------------------------------ Float_heap *)
+
+let drain_heap h =
+  let rec go acc =
+    match Float_heap.pop h with
+    | None -> List.rev acc
+    | Some kp -> go (kp :: acc)
+  in
+  go []
+
+(* Pushing a list and draining the heap is a stable sort by key: ties keep
+   insertion order, which is exactly [List.stable_sort] on the key alone. *)
+let prop_float_heap_heapsort_matches_stable_sort =
+  QCheck.Test.make ~name:"Float_heap drain = stable sort by key" ~count:200
+    QCheck.(
+      list (pair (int_range 0 20) small_nat)
+      |> map (fun l -> List.map (fun (k, v) -> (float_of_int k /. 4., v)) l))
+    (fun items ->
+      let h = Float_heap.create ~capacity:1 () in
+      List.iter (fun (k, v) -> Float_heap.push h ~key:k v) items;
+      let expected =
+        List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) items
+      in
+      drain_heap h = expected)
+
+let test_float_heap_fifo_ties () =
+  let h = Float_heap.create () in
+  (* Equal keys interleaved with other keys: equal keys must come back in
+     insertion order regardless of sift movements. *)
+  Float_heap.push h ~key:5. 0;
+  Float_heap.push h ~key:1. 10;
+  Float_heap.push h ~key:1. 11;
+  Float_heap.push h ~key:0.5 20;
+  Float_heap.push h ~key:1. 12;
+  Float_heap.push h ~key:5. 1;
+  Float_heap.push h ~key:1. 13;
+  Alcotest.(check (list (pair (float 0.) int)))
+    "fifo within equal keys"
+    [ (0.5, 20); (1., 10); (1., 11); (1., 12); (1., 13); (5., 0); (5., 1) ]
+    (drain_heap h)
+
+let test_float_heap_growth () =
+  (* Start below capacity 1 and push far past it; order must survive every
+     doubling. *)
+  let h = Float_heap.create ~capacity:1 () in
+  let n = 1000 in
+  for i = 0 to n - 1 do
+    Float_heap.push h ~key:(float_of_int ((i * 7919) mod 257)) i
+  done;
+  Alcotest.(check int) "length" n (Float_heap.length h);
+  let drained = drain_heap h in
+  Alcotest.(check int) "drained all" n (List.length drained);
+  let keys = List.map fst drained in
+  Alcotest.(check bool) "keys ascending" true
+    (List.for_all2 (fun a b -> a <= b) keys (List.tl keys @ [ infinity ]));
+  Alcotest.(check bool) "empty at end" true (Float_heap.is_empty h)
+
+let test_float_heap_clear_resets_seq () =
+  let h = Float_heap.create () in
+  Float_heap.push h ~key:1. 1;
+  Float_heap.push h ~key:1. 2;
+  Float_heap.clear h;
+  Alcotest.(check bool) "cleared" true (Float_heap.is_empty h);
+  (* After clear the FIFO counter restarts: insertion order still rules. *)
+  Float_heap.push h ~key:3. 7;
+  Float_heap.push h ~key:3. 8;
+  Alcotest.(check (list (pair (float 0.) int)))
+    "fresh fifo after clear"
+    [ (3., 7); (3., 8) ]
+    (drain_heap h)
+
+let test_float_heap_rejects_nonfinite () =
+  let h = Float_heap.create () in
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        "push rejects non-finite key" true
+        (try
+           Float_heap.push h ~key:bad 0;
+           false
+         with Invalid_argument _ -> true))
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  Alcotest.(check bool) "heap untouched" true (Float_heap.is_empty h)
+
+(* Random push/pop interleavings against the boxed Pqueue as reference. *)
+let prop_float_heap_interleaving_matches_pqueue =
+  QCheck.Test.make ~name:"Float_heap push/pop interleaving = Pqueue oracle"
+    ~count:200
+    QCheck.(list (option (pair (int_range 0 50) small_nat)))
+    (fun ops ->
+      (* [Some (k, v)] = push, [None] = pop.  The oracle orders by
+         (key, seq) like the heap. *)
+      let cmp (ka, sa, _) (kb, sb, _) =
+        match Float.compare ka kb with 0 -> Int.compare sa sb | c -> c
+      in
+      let h = Float_heap.create ~capacity:1 () in
+      let q = Pqueue.create ~cmp in
+      let seq = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some (k, v) ->
+            let key = float_of_int k /. 8. in
+            Float_heap.push h ~key v;
+            Pqueue.push q (key, !seq, v);
+            incr seq;
+            Float_heap.length h = Pqueue.length q
+          | None -> (
+            match (Float_heap.pop h, Pqueue.pop q) with
+            | None, None -> true
+            | Some (k, v), Some (k', _, v') ->
+              Float.equal k k' && v = v'
+            | _ -> false))
+        ops
+      && drain_heap h
+         = List.map (fun (k, _, v) -> (k, v)) (Pqueue.to_sorted_list q))
+
+(* --------------------------------------------------------------- Growbuf *)
+
+let test_growbuf_float_int () =
+  let f = Growbuf.F.create ~capacity:1 () in
+  let i = Growbuf.I.create ~capacity:1 () in
+  for k = 0 to 99 do
+    Growbuf.F.push f (float_of_int k *. 1.5);
+    Growbuf.I.push i (k * 3)
+  done;
+  Alcotest.(check int) "F length" 100 (Growbuf.F.length f);
+  Alcotest.(check int) "I length" 100 (Growbuf.I.length i);
+  check_float "F get" 73.5 (Growbuf.F.get f 49);
+  Alcotest.(check int) "I get" 147 (Growbuf.I.get i 49);
+  Growbuf.F.clear f;
+  Growbuf.I.clear i;
+  Alcotest.(check int) "F cleared" 0 (Growbuf.F.length f);
+  Alcotest.(check int) "I cleared" 0 (Growbuf.I.length i);
+  (* Reuse after clear starts from index 0 again. *)
+  Growbuf.F.push f 2.5;
+  check_float "F reuse" 2.5 (Growbuf.F.get f 0);
+  Alcotest.(check bool) "F get past len raises" true
+    (try
+       ignore (Growbuf.F.get f 1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_growbuf_poly () =
+  let a = Growbuf.A.create ~capacity:1 ~dummy:[||] () in
+  for k = 0 to 19 do
+    Growbuf.A.push a (Array.make 1 k)
+  done;
+  Alcotest.(check int) "A length" 20 (Growbuf.A.length a);
+  Alcotest.(check int) "A get" 13 (Growbuf.A.get a 13).(0);
+  Growbuf.A.clear a;
+  Alcotest.(check int) "A cleared" 0 (Growbuf.A.length a);
+  Alcotest.(check bool) "A get after clear raises" true
+    (try
+       ignore (Growbuf.A.get a 0);
+       false
+     with Invalid_argument _ -> true)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "util"
@@ -858,6 +1035,8 @@ let () =
           Alcotest.test_case "lt/gt" `Quick test_lt_gt;
           Alcotest.test_case "clamp" `Quick test_clamp;
           Alcotest.test_case "compare_approx" `Quick test_compare_approx;
+          Alcotest.test_case "Float.compare NaN total order" `Quick
+            test_float_compare_nan_total_order;
         ] );
       ( "rng",
         [
@@ -974,5 +1153,22 @@ let () =
           Alcotest.test_case "renders" `Quick test_texttab_renders;
           Alcotest.test_case "arity" `Quick test_texttab_arity;
           Alcotest.test_case "alignment width" `Quick test_texttab_alignment_width;
+        ] );
+      ( "float_heap",
+        [
+          qt prop_float_heap_heapsort_matches_stable_sort;
+          Alcotest.test_case "fifo tie-break" `Quick test_float_heap_fifo_ties;
+          Alcotest.test_case "growth past capacity" `Quick
+            test_float_heap_growth;
+          Alcotest.test_case "clear resets fifo" `Quick
+            test_float_heap_clear_resets_seq;
+          Alcotest.test_case "rejects non-finite keys" `Quick
+            test_float_heap_rejects_nonfinite;
+          qt prop_float_heap_interleaving_matches_pqueue;
+        ] );
+      ( "growbuf",
+        [
+          Alcotest.test_case "float/int buffers" `Quick test_growbuf_float_int;
+          Alcotest.test_case "boxed buffer" `Quick test_growbuf_poly;
         ] );
     ]
