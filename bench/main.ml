@@ -1498,6 +1498,246 @@ let alloc_lean_section () =
     exit 1
   end
 
+(* ------------------------------------------------------- Service daemon *)
+
+(* Loopback probe of the scheduler daemon, recorded into
+   BENCH_scaling.json: pipelined submission throughput, client round-trip
+   and server-side decision-latency percentiles, protocol error count. *)
+type service_probe = {
+  sv_tasks : int;
+  sv_p : int;
+  sv_submits_per_s : float;
+  sv_rtt_p50_s : float;
+  sv_rtt_p99_s : float;
+  sv_decision_p50_s : float;
+  sv_decision_p99_s : float;
+  sv_protocol_errors : float;
+}
+
+let service_probe : service_probe option ref = ref None
+
+let service_section () =
+  section
+    "Service daemon — the wire protocol end to end over loopback TCP: \
+     per-request round-trip latency, pipelined submission throughput, and \
+     the drained makespan checked against the local batch run.  Gates: >= \
+     10k pipelined submissions/s with zero protocol errors.";
+  let module Server = Moldable_service.Server in
+  let module Client = Moldable_service.Client in
+  let module Protocol = Moldable_service.Protocol in
+  let module Json = Moldable_obs.Json in
+  let module R = Moldable_obs.Registry in
+  let p = 64 in
+  let speedup = Speedup.Roofline { w = 1.; ptilde = 4 } in
+  let open_spec =
+    {
+      Protocol.o_p = p; o_algorithm = `Original; o_priority = "fifo";
+      o_seed = 0; o_max_attempts = None; o_failures = `Never;
+    }
+  in
+  let registry = R.create () in
+  let config =
+    { (Server.default_config ~registry ()) with Server.sessions = 2 }
+  in
+  let listener =
+    match Server.listen_tcp ~host:"127.0.0.1" ~port:0 with
+    | Ok l -> l
+    | Error e -> failwith ("service: " ^ e)
+  in
+  let port = Option.get (Server.port listener) in
+  let stop = Atomic.make false in
+  let daemon = Domain.spawn (fun () -> Server.serve ~stop config listener) in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join daemon)
+  @@ fun () ->
+  (* --- round-trip latency: one request, one response, timed each way *)
+  let n_probe = 2_000 in
+  let rtts = Array.make n_probe 0. in
+  (match Client.connect_tcp ~host:"127.0.0.1" ~port () with
+  | Error e -> failwith ("service: " ^ e)
+  | Ok c ->
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    let rpc_exn req =
+      match Client.rpc c req with
+      | Ok resp -> resp
+      | Error e -> failwith ("service: " ^ e)
+    in
+    ignore (rpc_exn (Protocol.Open open_spec));
+    for i = 0 to n_probe - 1 do
+      let submit =
+        Protocol.Submit
+          {
+            Protocol.s_label = ""; s_speedup = speedup; s_deps = [];
+            s_release = 0.;
+          }
+      in
+      let t0 = Clock.now () in
+      ignore (rpc_exn submit);
+      rtts.(i) <- Clock.now () -. t0
+    done;
+    ignore (rpc_exn Protocol.Drain));
+  Array.sort compare rtts;
+  let pct q = rtts.(min (n_probe - 1) (int_of_float (q *. float_of_int n_probe))) in
+  let rtt_p50 = pct 0.50 and rtt_p99 = pct 0.99 in
+  (* --- pipelined throughput: all submit lines written without waiting,
+     a reader domain draining responses concurrently *)
+  let n_pipe = 50_000 in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  let line_of req =
+    match Protocol.request_to_json req with
+    | Ok j -> Json.to_string_compact j ^ "\n"
+    | Error e -> failwith ("service: " ^ e)
+  in
+  let send s =
+    let b = Bytes.of_string s in
+    let len = Bytes.length b in
+    let off = ref 0 in
+    while !off < len do
+      off := !off + Unix.write fd b !off (len - !off)
+    done
+  in
+  (* blocking char-at-a-time line read; only used for the four
+     single-threaded exchanges, which are all short *)
+  let read_line () =
+    let buf = Buffer.create 256 in
+    let byte = Bytes.create 1 in
+    let rec go () =
+      match Unix.read fd byte 0 1 with
+      | 0 -> failwith "service: connection closed"
+      | _ ->
+        if Bytes.get byte 0 = '\n' then Buffer.contents buf
+        else begin
+          Buffer.add_char buf (Bytes.get byte 0);
+          go ()
+        end
+    in
+    go ()
+  in
+  let response () =
+    match Json.of_string (read_line ()) with
+    | Ok j -> j
+    | Error e -> failwith ("service: " ^ e)
+  in
+  let expect_ok ctx resp =
+    match Json.member "ok" resp with
+    | Some (Json.Bool true) -> resp
+    | _ -> failwith ("service: " ^ ctx ^ ": " ^ Json.to_string_compact resp)
+  in
+  send (line_of (Protocol.Open open_spec));
+  ignore (expect_ok "open" (response ()));
+  let payload = Buffer.create (n_pipe * 64) in
+  let submit_line =
+    line_of
+      (Protocol.Submit
+         {
+           Protocol.s_label = ""; s_speedup = speedup; s_deps = [];
+           s_release = 0.;
+         })
+  in
+  for _ = 1 to n_pipe do
+    Buffer.add_string payload submit_line
+  done;
+  let data = Buffer.to_bytes payload in
+  let len = Bytes.length data in
+  let t0 = Clock.now () in
+  let reader =
+    Domain.spawn (fun () ->
+        let buf = Bytes.create 65536 in
+        let seen = ref 0 in
+        while !seen < n_pipe do
+          match Unix.read fd buf 0 65536 with
+          | 0 -> failwith "service: connection closed mid-pipeline"
+          | k ->
+            for i = 0 to k - 1 do
+              if Bytes.get buf i = '\n' then incr seen
+            done
+        done;
+        !seen)
+  in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd data !off (min 65536 (len - !off))
+  done;
+  let n_seen = Domain.join reader in
+  let wall = Clock.now () -. t0 in
+  assert (n_seen = n_pipe);
+  let submits_per_s = float_of_int n_pipe /. Float.max 1e-9 wall in
+  send (line_of Protocol.Drain);
+  let drained = expect_ok "drain" (response ()) in
+  let server_mk =
+    match Option.bind (Json.member "makespan" drained) Json.to_float with
+    | Some mk -> mk
+    | None -> failwith "service: drain response lacks a makespan"
+  in
+  send (line_of Protocol.Close);
+  ignore (response ());
+  (* The pipelined workload replayed locally must agree exactly. *)
+  let dag =
+    Dag.create
+      ~tasks:(List.init n_pipe (fun id -> Task.make ~id speedup))
+      ~edges:[]
+  in
+  let local = Online_scheduler.run ~p dag in
+  if not (Float.equal (Schedule.makespan local.Engine.schedule) server_mk)
+  then failwith "service: drained makespan diverged from the local run";
+  (* --- server-side truth: decision latency histogram, protocol errors *)
+  let snap = R.snapshot registry in
+  let find name =
+    List.find_opt (fun m -> m.R.ms_name = name) snap
+  in
+  let decision_p50, decision_p99 =
+    match find "moldable_service_decision_latency_seconds" with
+    | Some { R.ms_value = R.Hist_v h; _ } -> (h.R.p50, h.R.p99)
+    | _ -> (Float.nan, Float.nan)
+  in
+  let protocol_errors =
+    match find "moldable_service_protocol_errors" with
+    | Some { R.ms_value = R.Counter_v v; _ } -> v
+    | _ -> Float.nan
+  in
+  service_probe :=
+    Some
+      {
+        sv_tasks = n_pipe; sv_p = p; sv_submits_per_s = submits_per_s;
+        sv_rtt_p50_s = rtt_p50; sv_rtt_p99_s = rtt_p99;
+        sv_decision_p50_s = decision_p50; sv_decision_p99_s = decision_p99;
+        sv_protocol_errors = protocol_errors;
+      };
+  let tab = Texttab.create ~headers:[ "probe"; "value" ] in
+  List.iter
+    (fun (k, v) -> Texttab.add_row tab [ k; v ])
+    [
+      ("round-trip p50", Printf.sprintf "%.1f us" (1e6 *. rtt_p50));
+      ("round-trip p99", Printf.sprintf "%.1f us" (1e6 *. rtt_p99));
+      ("decision p50", Printf.sprintf "%.1f us" (1e6 *. decision_p50));
+      ("decision p99", Printf.sprintf "%.1f us" (1e6 *. decision_p99));
+      ( "pipelined throughput",
+        Printf.sprintf "%.0f submissions/s (%d tasks in %.3f s)"
+          submits_per_s n_pipe wall );
+      ("protocol errors", Printf.sprintf "%.0f" protocol_errors);
+      ("drained makespan", Printf.sprintf "%.6g (= local run)" server_mk);
+    ];
+  Texttab.print tab;
+  if submits_per_s >= 10_000. && protocol_errors = 0. then
+    Printf.printf
+      "\nAcceptance: %.0f pipelined submissions/s over loopback with zero \
+       protocol errors\n(criteria: >= 10k/s, 0 errors), drained makespan \
+       identical to the local batch run.\n"
+      submits_per_s
+  else begin
+    Printf.printf
+      "\nACCEPTANCE FAILED: %.0f submissions/s (need >= 10k), %.0f \
+       protocol errors (need 0)\n"
+      submits_per_s protocol_errors;
+    exit 1
+  end
+
 (* ----------------------------------------------- Parallel experiment sweep *)
 
 (* The multicore fan-out acceptance section: a full (workload x policy x
@@ -2094,7 +2334,19 @@ let scaling_json () =
            r.al_mode r.al_tasks r.al_p (jf r.al_wall_s)
            (jf r.al_minor_words)))
     (List.rev !alloc_lean_rows);
-  Buffer.add_string buf "],\n  \"scaling\": [";
+  Buffer.add_string buf "],\n  \"service\": ";
+  (match !service_probe with
+  | None -> Buffer.add_string buf "null"
+  | Some pr ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"tasks\": %d, \"p\": %d, \"submits_per_s\": %s, \"rtt_p50_s\": \
+          %s, \"rtt_p99_s\": %s, \"decision_p50_s\": %s, \"decision_p99_s\": \
+          %s, \"protocol_errors\": %s}"
+         pr.sv_tasks pr.sv_p (jf pr.sv_submits_per_s) (jf pr.sv_rtt_p50_s)
+         (jf pr.sv_rtt_p99_s) (jf pr.sv_decision_p50_s)
+         (jf pr.sv_decision_p99_s) (jf pr.sv_protocol_errors)));
+  Buffer.add_string buf ",\n  \"scaling\": [";
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_string buf ", ";
@@ -2133,7 +2385,8 @@ let () =
           let saved_parallel = !parallel_rows
           and saved_scaling = !scaling_rows
           and saved_alloc_lean = !alloc_lean_rows
-          and saved_probe = !telemetry_probe in
+          and saved_probe = !telemetry_probe
+          and saved_service = !service_probe in
           let samples = ref [] in
           let gc0 = Moldable_obs.Gc_sample.read () in
           for k = 1 to reps do
@@ -2141,7 +2394,8 @@ let () =
               parallel_rows := saved_parallel;
               scaling_rows := saved_scaling;
               alloc_lean_rows := saved_alloc_lean;
-              telemetry_probe := saved_probe
+              telemetry_probe := saved_probe;
+              service_probe := saved_service
             end;
             let t0 = Clock.now () in
             f ();
@@ -2195,6 +2449,7 @@ let () =
       timed "scalability" scalability;
       timed "scalability_hot_path" (scalability_hot_path pool);
       timed "alloc_lean" alloc_lean_section;
+      timed "service" service_section;
       timed "parallel_sweep" (parallel_sweep pool);
       timed "exact_oracle" (exact_oracle pool);
       timed "improved_ratio" (improved_ratio pool);

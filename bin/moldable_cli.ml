@@ -663,6 +663,219 @@ let metrics_cmd =
          "Pretty-print a telemetry snapshot (or convert it to OpenMetrics).")
     Term.(const run $ file_arg $ openmetrics_arg)
 
+(* ----------------------------------------------------------------- serve *)
+
+(* The daemon and its client speak the line-delimited JSON protocol of
+   lib/service; runtime failures (bind/connect refused) exit 125 per the
+   CLI exit-code contract, schedule divergence in the client exits 1. *)
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"TCP host to bind/connect to.")
+
+let port_arg =
+  Arg.(
+    value & opt int 7464
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"TCP port (0 binds an ephemeral port and prints it).")
+
+let socket_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Serve/connect on a Unix-domain socket instead of TCP.")
+
+let serve_cmd =
+  let run host port socket sessions idle_timeout max_line =
+    if sessions < 1 then begin
+      Printf.eprintf "moldable serve: --sessions must be >= 1 (got %d)\n"
+        sessions;
+      exit 2
+    end;
+    let registry = Moldable_obs.Registry.create () in
+    let config =
+      {
+        Moldable_service.Server.sessions;
+        limits =
+          {
+            Moldable_service.Server.default_limits with
+            idle_timeout;
+            max_line_bytes = max_line;
+          };
+        registry;
+      }
+    in
+    let listener =
+      match socket with
+      | Some path -> Moldable_service.Server.listen_unix ~path
+      | None -> Moldable_service.Server.listen_tcp ~host ~port
+    in
+    match listener with
+    | Error e ->
+      Printf.eprintf "moldable serve: cannot listen: %s\n" e;
+      exit 125
+    | Ok listener ->
+      let stop = Atomic.make false in
+      let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+      Sys.set_signal Sys.sigterm on_signal;
+      Sys.set_signal Sys.sigint on_signal;
+      Printf.printf "listening on %s\n%!"
+        (Moldable_service.Server.address listener);
+      Moldable_service.Server.serve ~stop config listener;
+      Printf.printf "drained, shutting down\n%!"
+  in
+  let sessions_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "sessions" ] ~docv:"N"
+          ~doc:"Concurrent session workers (also worker domains).")
+  in
+  let idle_arg =
+    Arg.(
+      value & opt float 300.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close a session after this long without a request.")
+  in
+  let max_line_arg =
+    Arg.(
+      value & opt int (1 lsl 20)
+      & info [ "max-line" ] ~docv:"BYTES"
+          ~doc:"Longest accepted request line.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduler daemon: line-delimited JSON over TCP or a Unix \
+          socket, one simulation session per connection (submit moldable \
+          tasks online, advance the virtual clock, drain, read the \
+          schedule back).  SIGTERM drains gracefully.")
+    Term.(
+      const run $ host_arg $ port_arg $ socket_arg $ sessions_arg $ idle_arg
+      $ max_line_arg)
+
+(* ---------------------------------------------------------------- client *)
+
+let client_cmd =
+  let run host port socket kind p seed workload n load swf algo priority
+      openmetrics =
+    let rng = Rng.create seed in
+    let dag, releases =
+      match (load, swf) with
+      | Some _, Some _ ->
+        Printf.eprintf "--load and --swf are mutually exclusive\n";
+        exit 2
+      | Some path, None -> (
+        match Dag_io.of_file path with
+        | Ok dag -> (dag, None)
+        | Error e ->
+          Printf.eprintf "cannot load %s: %s\n" path e;
+          exit 125)
+      | None, Some path -> (
+        match Moldable_workloads.Swf.parse_file path with
+        | Ok { Moldable_workloads.Swf.jobs; skipped_lines } when jobs <> [] ->
+          if skipped_lines > 0 then
+            Printf.printf "note: skipped %d unusable record(s) in %s\n"
+              skipped_lines path;
+          let dag, rel = Moldable_workloads.Swf.to_workload ~rng jobs in
+          (dag, Some rel)
+        | Ok _ ->
+          Printf.eprintf "trace %s contains no usable jobs\n" path;
+          exit 125
+        | Error e ->
+          Printf.eprintf "cannot parse %s: %s\n" path e;
+          exit 125)
+      | None, None -> (make_workload workload ~rng ~n ~kind, None)
+    in
+    let conn =
+      match socket with
+      | Some path -> Moldable_service.Client.connect_unix ~path ()
+      | None -> Moldable_service.Client.connect_tcp ~host ~port ()
+    in
+    match conn with
+    | Error e ->
+      Printf.eprintf "moldable client: cannot connect: %s\n" e;
+      exit 125
+    | Ok conn -> (
+      let finish code =
+        ignore
+          (Moldable_service.Client.rpc conn Moldable_service.Protocol.Close
+            : (_, _) result);
+        Moldable_service.Client.close conn;
+        exit code
+      in
+      match
+        Moldable_service.Client.replay ?release_times:releases
+          ~algorithm:algo ~priority ~p conn dag
+      with
+      | Error e ->
+        Printf.eprintf "moldable client: %s\n" e;
+        Moldable_service.Client.close conn;
+        exit 125
+      | Ok report ->
+        Printf.printf "server makespan %.4f\n"
+          report.Moldable_service.Client.server_makespan;
+        Printf.printf "local makespan %.4f\n"
+          report.Moldable_service.Client.local_makespan;
+        if openmetrics then (
+          match Moldable_service.Client.fetch_metrics conn with
+          | Ok om -> print_string om
+          | Error e ->
+            Printf.eprintf "moldable client: cannot fetch metrics: %s\n" e;
+            finish 125);
+        if report.Moldable_service.Client.identical then begin
+          Printf.printf "schedules identical: yes (%d tasks)\n"
+            report.Moldable_service.Client.n_tasks;
+          finish 0
+        end
+        else begin
+          Printf.printf "schedules identical: no\n";
+          Printf.eprintf "divergence: %s\n"
+            (Option.value ~default:"?"
+               report.Moldable_service.Client.mismatch);
+          finish 1
+        end)
+  in
+  let load_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "load" ] ~docv:"FILE"
+          ~doc:"Replay the task graph in $(docv) (Dag_io format).")
+  in
+  let swf_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "swf" ] ~docv:"TRACE"
+          ~doc:
+            "Replay a Standard Workload Format trace as independent \
+             moldable tasks with release times.")
+  in
+  let priority_arg =
+    Arg.(
+      value & opt string "fifo"
+      & info [ "priority" ] ~docv:"RULE"
+          ~doc:
+            "Waiting-queue priority rule: fifo, longest-first, \
+             largest-area-first, widest-first or narrowest-first.")
+  in
+  let openmetrics_arg =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:"Also scrape the server registry and print the OpenMetrics \
+                exposition.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Replay a workload against a running scheduler daemon and diff the \
+          returned schedule against a local simulation of the identical \
+          configuration (exit 0 when bit-identical, 1 on divergence).")
+    Term.(
+      const run $ host_arg $ port_arg $ socket_arg $ kind_arg $ p_arg 64
+      $ seed_arg $ workload_arg $ size_arg $ load_arg $ swf_arg
+      $ algorithm_arg $ priority_arg $ openmetrics_arg)
+
 let () =
   let info =
     Cmd.info "moldable"
@@ -672,7 +885,7 @@ let () =
   let group =
     Cmd.group info
       [ table1_cmd; figure_cmd; theorem9_cmd; simulate_cmd; trace_cmd;
-        verify_cmd; sweep_cmd; metrics_cmd ]
+        verify_cmd; sweep_cmd; metrics_cmd; serve_cmd; client_cmd ]
   in
   (* Conventional exit codes: usage errors (unknown subcommand, unknown
      flag, unparsable option value) exit 2, uncaught exceptions 125 —

@@ -117,7 +117,7 @@ let to_string_compact v =
 
 exception Parse_error of string
 
-type cursor = { src : string; mutable pos : int }
+type cursor = { src : string; mutable pos : int; max_depth : int }
 
 let error cur fmt =
   Printf.ksprintf
@@ -153,6 +153,40 @@ let literal cur word value =
   end
   else error cur "invalid literal"
 
+(* A \u escape's four hex digits, validated strictly: [int_of_string "0x.."]
+   would also accept underscores, which JSON forbids. *)
+let hex_quad cur =
+  if cur.pos + 4 > String.length cur.src then error cur "truncated \\u escape";
+  let digit k =
+    match cur.src.[cur.pos + k] with
+    | '0' .. '9' as c -> Char.code c - Char.code '0'
+    | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+    | _ -> error cur "bad \\u escape %S" (String.sub cur.src cur.pos 4)
+  in
+  let code = (digit 0 lsl 12) lor (digit 1 lsl 8) lor (digit 2 lsl 4)
+             lor digit 3 in
+  cur.pos <- cur.pos + 4;
+  code
+
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
 let parse_string cur =
   expect cur '"';
   let buf = Buffer.create 16 in
@@ -173,29 +207,32 @@ let parse_string cur =
       | Some 'f' -> Buffer.add_char buf '\012'; advance cur
       | Some 'u' ->
         advance cur;
-        if cur.pos + 4 > String.length cur.src then
-          error cur "truncated \\u escape";
-        let hex = String.sub cur.src cur.pos 4 in
-        let code =
-          try int_of_string ("0x" ^ hex)
-          with _ -> error cur "bad \\u escape %S" hex
-        in
-        cur.pos <- cur.pos + 4;
-        (* Escaped code points decode to UTF-8; surrogate pairs are beyond
-           what telemetry snapshots need and decode as two replacement
-           sequences. *)
-        if code < 0x80 then Buffer.add_char buf (Char.chr code)
-        else if code < 0x800 then begin
-          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
-          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        let code = hex_quad cur in
+        (* Escaped code points decode to UTF-8.  Surrogate pairs combine
+           into one supplementary-plane code point; an unpaired surrogate
+           encodes no code point and is rejected — network input must not
+           smuggle ill-formed UTF-8 through the escape syntax. *)
+        if code >= 0xD800 && code <= 0xDBFF then begin
+          if
+            not
+              (cur.pos + 2 <= String.length cur.src
+              && cur.src.[cur.pos] = '\\'
+              && cur.src.[cur.pos + 1] = 'u')
+          then error cur "unpaired surrogate \\u%04x" code;
+          cur.pos <- cur.pos + 2;
+          let low = hex_quad cur in
+          if low < 0xDC00 || low > 0xDFFF then
+            error cur "unpaired surrogate \\u%04x" code;
+          add_utf8 buf
+            (0x10000 + (((code - 0xD800) lsl 10) lor (low - 0xDC00)))
         end
-        else begin
-          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
-          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-        end
+        else if code >= 0xDC00 && code <= 0xDFFF then
+          error cur "unpaired surrogate \\u%04x" code
+        else add_utf8 buf code
       | _ -> error cur "bad escape");
       go ()
+    | Some c when Char.code c < 0x20 ->
+      error cur "unescaped control character 0x%02x in string" (Char.code c)
     | Some c ->
       Buffer.add_char buf c;
       advance cur;
@@ -218,7 +255,9 @@ let parse_number cur =
   | Some x -> Num x
   | None -> error cur "bad number %S" s
 
-let rec parse_value cur =
+(* [depth] counts open containers; the bound turns adversarial
+   ["[[[[..."] inputs into a parse error instead of a stack overflow. *)
+let rec parse_value cur depth =
   skip_ws cur;
   match peek cur with
   | None -> error cur "unexpected end of input"
@@ -227,6 +266,8 @@ let rec parse_value cur =
   | Some 'f' -> literal cur "false" (Bool false)
   | Some '"' -> Str (parse_string cur)
   | Some '[' ->
+    if depth >= cur.max_depth then
+      error cur "nesting deeper than %d levels" cur.max_depth;
     advance cur;
     skip_ws cur;
     if peek cur = Some ']' then begin
@@ -235,7 +276,7 @@ let rec parse_value cur =
     end
     else begin
       let rec items acc =
-        let v = parse_value cur in
+        let v = parse_value cur (depth + 1) in
         skip_ws cur;
         match peek cur with
         | Some ',' ->
@@ -249,6 +290,8 @@ let rec parse_value cur =
       List (items [])
     end
   | Some '{' ->
+    if depth >= cur.max_depth then
+      error cur "nesting deeper than %d levels" cur.max_depth;
     advance cur;
     skip_ws cur;
     if peek cur = Some '}' then begin
@@ -261,7 +304,7 @@ let rec parse_value cur =
         let k = parse_string cur in
         skip_ws cur;
         expect cur ':';
-        let v = parse_value cur in
+        let v = parse_value cur (depth + 1) in
         skip_ws cur;
         match peek cur with
         | Some ',' ->
@@ -276,15 +319,23 @@ let rec parse_value cur =
     end
   | Some _ -> parse_number cur
 
-let of_string s =
-  let cur = { src = s; pos = 0 } in
-  match parse_value cur with
-  | v ->
-    skip_ws cur;
-    if cur.pos <> String.length s then
-      Error (Printf.sprintf "trailing garbage at byte %d" cur.pos)
-    else Ok v
-  | exception Parse_error msg -> Error msg
+let default_max_depth = 512
+
+let of_string ?max_bytes ?(max_depth = default_max_depth) s =
+  match max_bytes with
+  | Some limit when String.length s > limit ->
+    Error
+      (Printf.sprintf "input of %d bytes exceeds the %d-byte limit"
+         (String.length s) limit)
+  | _ -> (
+    let cur = { src = s; pos = 0; max_depth } in
+    match parse_value cur 0 with
+    | v ->
+      skip_ws cur;
+      if cur.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at byte %d" cur.pos)
+      else Ok v
+    | exception Parse_error msg -> Error msg)
 
 (* ------------------------------------------------------------ accessors *)
 

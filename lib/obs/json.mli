@@ -24,8 +24,25 @@ val to_string : t -> string
 val to_string_compact : t -> string
 (** Single-line rendering, used for JSONL rows. *)
 
-val of_string : string -> (t, string) result
-(** Parse a complete JSON document; the error carries a byte offset. *)
+val of_string : ?max_bytes:int -> ?max_depth:int -> string -> (t, string) result
+(** Parse a complete JSON document; the error carries a byte offset.
+
+    The parser is hardened for untrusted (network) input and never raises:
+    every malformed input — including raw control characters inside
+    strings, non-hex [\u] escapes and unpaired UTF-16 surrogates — is an
+    [Error].  Paired surrogates combine into one supplementary-plane code
+    point.  Containers may nest at most [max_depth] levels
+    (default {!default_max_depth}); inputs longer than [max_bytes]
+    (unlimited by default) are rejected before parsing.
+
+    Duplicate object keys are retained in document order; {!member}
+    returns the first binding, and later bindings are only observable by
+    matching on the [Obj] field list directly. *)
+
+val default_max_depth : int
+(** Default container-nesting bound of {!of_string} ([512] — far deeper
+    than any document the repo produces, yet shallow enough that parsing
+    adversarial input cannot exhaust the stack). *)
 
 (** Accessors returning [None] on shape mismatch. *)
 

@@ -1,0 +1,97 @@
+(** The wire protocol of the scheduler daemon: line-delimited JSON.
+
+    Each request is one JSON object on one line ([\n]-terminated); the
+    server answers every request with exactly one JSON object on one line,
+    in order.  A successful response is [{"ok": true, ...}]; a failed one
+    is [{"ok": false, "error": CODE, "message": ...}] with [CODE] one of
+    {!error_code} (the message is human-readable and unstable, the code is
+    contract).  Because framing is newline-based, a malformed line yields a
+    [parse_error] response and the session continues at the next line.
+
+    The protocol drives one simulation per session phase: [open] creates a
+    stepper ({!Moldable_sim.Sim_core.Stepper}) for a processor count and
+    algorithm, [submit] admits tasks (with precedence and release times)
+    while the virtual clock is live, [advance] steps the clock, [drain]
+    runs to completion, and [schedule]/[makespan] read the finished run
+    back.  After a drain the session can [open] again.  The full schemas
+    are documented in EXPERIMENTS.md. *)
+
+open Moldable_model
+open Moldable_sim
+open Moldable_core
+
+type algorithm = [ `Original | `Improved ]
+
+type open_spec = {
+  o_p : int;  (** Processor count, [>= 1]. *)
+  o_algorithm : algorithm;  (** Default [`Original]. *)
+  o_priority : string;  (** A {!Moldable_core.Priority} name; default fifo. *)
+  o_seed : int;  (** Failure-RNG seed, default 0. *)
+  o_max_attempts : int option;
+  o_failures : [ `Never | `Bernoulli of float | `At_most of int ];
+}
+
+type submit_spec = {
+  s_label : string;  (** Default ["t<id>"]. *)
+  s_speedup : Speedup.t;  (** Never [Arbitrary] (not serializable). *)
+  s_deps : int list;  (** Strictly increasing predecessor ids. *)
+  s_release : float;  (** Default 0. *)
+}
+
+type request =
+  | Ping
+  | Open of open_spec
+  | Submit of submit_spec
+  | Advance of float  (** Horizon; [infinity] when the field is absent. *)
+  | Status
+  | Events of int  (** Trace window starting at this event index. *)
+  | Subscribe of bool
+      (** Toggle inclusion of the new-events window in every subsequent
+          [advance]/[drain] response. *)
+  | Drain
+  | Schedule
+  | Makespan
+  | Metrics  (** OpenMetrics exposition of the server registry. *)
+  | Close
+
+type error_code =
+  | Parse_error  (** The line is not a JSON document. *)
+  | Bad_request  (** Well-formed JSON, invalid request or arguments. *)
+  | Limit  (** A session limit was exceeded; the server closes. *)
+  | Conflict  (** Request illegal in the current session phase. *)
+  | Draining  (** The server is shutting down. *)
+  | Internal  (** Simulation failure (policy error, attempt limit). *)
+
+val error_code_name : error_code -> string
+val error_code_of_name : string -> error_code option
+
+(** {1 Building} *)
+
+val ok : (string * Moldable_obs.Json.t) list -> Moldable_obs.Json.t
+(** [{"ok": true}] extended with the fields. *)
+
+val error : error_code -> string -> Moldable_obs.Json.t
+
+val request_to_json : request -> (Moldable_obs.Json.t, string) result
+(** [Error] only for a [Submit] of an [Arbitrary] speedup. *)
+
+val speedup_to_json : Speedup.t -> (Moldable_obs.Json.t, string) result
+val event_to_json : float -> Sim_core.event -> Moldable_obs.Json.t
+val placement_to_json : Schedule.placement -> Moldable_obs.Json.t
+
+(** {1 Parsing} *)
+
+val request_of_json : Moldable_obs.Json.t -> (request, string) result
+val speedup_of_json : Moldable_obs.Json.t -> (Speedup.t, string) result
+
+val placement_of_json :
+  Moldable_obs.Json.t -> (Schedule.placement, string) result
+
+val priority_of_name : string -> Priority.t option
+(** Look a priority rule up by its [Priority.name] (e.g. ["fifo"],
+    ["longest-first"]). *)
+
+val allocator_of_algorithm : algorithm -> Allocator.t
+val failure_model_of_spec :
+  [ `Never | `Bernoulli of float | `At_most of int ] ->
+  (Sim_core.failure_model, string) result

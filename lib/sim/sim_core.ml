@@ -68,11 +68,16 @@ let st_done = 3
 
 (* ------------------------------------------------------------------ arena *)
 
+(* Sentinel for the arena's task array; never revealed or launched (every
+   readable slot is overwritten by [Stepper.admit_task] first). *)
+let dummy_task = Task.make ~label:"-" ~id:0 (Speedup.Roofline { w = 1.; ptilde = 1 })
+
 (* All per-run storage in one reusable bundle: the event heap, the per-task
-   bookkeeping arrays, the recording buffers and the platform (with its
-   recycled-segment pool).  [ensure] grows everything to the (p, n)
-   high-water mark; nothing shrinks, so a pool domain that sweeps many
-   cells allocates the arrays once and reuses them for every run. *)
+   bookkeeping arrays, the incremental task/edge store of the stepper, the
+   recording buffers and the platform (with its recycled-segment pool).
+   [ensure] grows everything to the (p, n) high-water mark; nothing
+   shrinks, so a pool domain that sweeps many cells allocates the arrays
+   once and reuses them for every run. *)
 module Arena = struct
   type t = {
     mutable platform : Platform.t option;
@@ -87,6 +92,25 @@ module Arena = struct
     mutable run_start : float array; (* start stamp of the running attempt *)
     mutable run_procs : int array array; (* procs of the running attempt *)
     mutable outcomes : int array; (* per-batch classification buffer *)
+    (* Incremental task/graph store: tasks and release times land here as
+       they are admitted, and precedence edges form per-predecessor
+       intrusive singly-linked lists threaded through the edge buffers
+       ([succ_first]/[succ_last] index into [edge_to]/[edge_next], -1 ends
+       a list).  Edges are appended in admission order, so each list is
+       ascending in successor id — the same iteration order as
+       [Dag.successors]. *)
+    mutable tasks : Task.t array;
+    mutable rel : float array; (* release times, 0 when unconstrained *)
+    mutable succ_first : int array;
+    mutable succ_last : int array;
+    edge_to : Growbuf.I.t;
+    edge_next : Growbuf.I.t;
+    pending : Growbuf.I.t; (* admitted dependency-free, not yet revealed *)
+    (* Successful placements (stride 1 int, stride 2 float, 1 procs array
+       per success); turned into the [Schedule.t] once, at drain. *)
+    pl_ints : Growbuf.I.t;
+    pl_floats : Growbuf.F.t;
+    pl_procs : int array Growbuf.A.t;
     (* Full-mode recording buffers; converted to the public list-shaped
        result fields once at the end of a run. *)
     tr_times : Growbuf.F.t;
@@ -99,7 +123,8 @@ module Arena = struct
     qd_depths : Growbuf.I.t;
     mutable in_use : bool;
         (* A nested/concurrent run on the same arena would corrupt it;
-           [run] checks the flag and falls back to a private arena. *)
+           [Stepper.create] checks the flag and falls back to a private
+           arena. *)
   }
 
   let create () =
@@ -116,6 +141,16 @@ module Arena = struct
       run_start = [||];
       run_procs = [||];
       outcomes = [||];
+      tasks = [||];
+      rel = [||];
+      succ_first = [||];
+      succ_last = [||];
+      edge_to = Growbuf.I.create ();
+      edge_next = Growbuf.I.create ();
+      pending = Growbuf.I.create ();
+      pl_ints = Growbuf.I.create ();
+      pl_floats = Growbuf.F.create ();
+      pl_procs = Growbuf.A.create ~dummy:[||] ();
       tr_times = Growbuf.F.create ();
       tr_a = Growbuf.I.create ();
       tr_b = Growbuf.I.create ();
@@ -138,11 +173,41 @@ module Arena = struct
       t.service <- Array.make cap 0.;
       t.run_start <- Array.make cap 0.;
       t.run_procs <- Array.make cap [||];
+      t.tasks <- Array.make cap dummy_task;
+      t.rel <- Array.make cap 0.;
+      t.succ_first <- Array.make cap (-1);
+      t.succ_last <- Array.make cap (-1);
       t.cap <- cap
     end;
     (match t.platform with
     | Some pl when Platform.p pl = p -> Platform.reset pl
     | Some _ | None -> t.platform <- Some (Platform.create p))
+
+  (* Content-preserving growth, for admissions past the capacity of a
+     stepper that is already running (the platform and everything recorded
+     so far are untouched). *)
+  let grow t ~n =
+    if n > t.cap then begin
+      let cap = max (max n 16) (2 * t.cap) in
+      let gi dummy a =
+        let b = Array.make cap dummy in
+        Array.blit a 0 b 0 t.cap;
+        b
+      in
+      t.state <- gi st_unrevealed t.state;
+      t.indeg <- gi 0 t.indeg;
+      t.attempt_no <- gi 0 t.attempt_no;
+      t.first_ready <- gi nan t.first_ready;
+      t.first_start <- gi nan t.first_start;
+      t.service <- gi 0. t.service;
+      t.run_start <- gi 0. t.run_start;
+      t.run_procs <- gi [||] t.run_procs;
+      t.tasks <- gi dummy_task t.tasks;
+      t.rel <- gi 0. t.rel;
+      t.succ_first <- gi (-1) t.succ_first;
+      t.succ_last <- gi (-1) t.succ_last;
+      t.cap <- cap
+    end
 
   let outcomes_for t len =
     if Array.length t.outcomes < len then
@@ -186,377 +251,684 @@ let validate_inputs ?release_times ~max_attempts ~n () =
   if max_attempts < 1 then
     invalid_arg "Sim_core.run: max_attempts must be >= 1"
 
+(* ---------------------------------------------------------------- stepper *)
+
+(* The re-entrant form of the event loop: all run state lives in a record
+   instead of closures, tasks can be admitted after the clock has started,
+   and the virtual clock advances in bounded steps.  The batch [run] below
+   is a thin loop over this module — create, admit every task of the DAG
+   in id order, drain — and the differential suite pins that composition
+   bit-identical to [run_reference]. *)
+module Stepper = struct
+  type t = {
+    policy : policy;
+    p : int;
+    lean : bool;
+    recording : bool;
+    traced : bool;
+    tracer : Tracer.t;
+    registry : Moldable_obs.Registry.t;
+    failures : failure_model;
+    max_attempts : int;
+    rng : Rng.t;
+    arena : Arena.t;
+    platform : Platform.t;
+    events : Event_queue.t;
+    recycle_ok : bool;
+        (* A failed attempt's processor block can return to the platform's
+           segment pool only when nothing retains it: lean mode keeps no
+           attempt records, and a live tracer would capture the block in
+           its spans. *)
+    counters : Metrics.counters;
+    (* One-cell float arrays, not mutable float fields: in a mixed record a
+       float-field store allocates a box, a float-array store does not, and
+       both cells are written on the hot path. *)
+    ms : float array; (* makespan so far *)
+    now_cell : float array; (* current virtual time *)
+    mutable n : int; (* admitted tasks; the next admission index *)
+    mutable init_hi : int; (* arena slots [0, init_hi) are initialized *)
+    mutable completed : int;
+    mutable n_failures : int;
+    mutable ready_count : int;
+    mutable n_running : int;
+    mutable pending_lo : int; (* consumed prefix of [arena.pending] *)
+    mutable started : bool;
+    mutable closed : bool; (* drained or abandoned *)
+  }
+
+  let create ?(seed = 0) ?(max_attempts = max_int) ?(failures = never)
+      ?(tracer = Tracer.null) ?(registry = Moldable_obs.Registry.null) ?arena
+      ?(lean = false) ?(capacity = 0) ~p policy =
+    if max_attempts < 1 then
+      invalid_arg "Sim_core.Stepper.create: max_attempts must be >= 1";
+    if capacity < 0 then
+      invalid_arg "Sim_core.Stepper.create: capacity must be >= 0";
+    let traced = Tracer.enabled tracer in
+    let a =
+      match arena with
+      | Some a when not a.Arena.in_use -> a
+      | Some _ | None -> Arena.create ()
+    in
+    a.Arena.in_use <- true;
+    (try Arena.ensure a ~p ~n:capacity
+     with e ->
+       a.Arena.in_use <- false;
+       raise e);
+    Event_queue.clear a.Arena.events;
+    Growbuf.I.clear a.Arena.edge_to;
+    Growbuf.I.clear a.Arena.edge_next;
+    Growbuf.I.clear a.Arena.pending;
+    Growbuf.I.clear a.Arena.pl_ints;
+    Growbuf.F.clear a.Arena.pl_floats;
+    Growbuf.A.clear a.Arena.pl_procs;
+    Growbuf.F.clear a.Arena.tr_times;
+    Growbuf.I.clear a.Arena.tr_a;
+    Growbuf.I.clear a.Arena.tr_b;
+    Growbuf.I.clear a.Arena.at_ints;
+    Growbuf.F.clear a.Arena.at_floats;
+    Growbuf.A.clear a.Arena.at_procs;
+    Growbuf.F.clear a.Arena.qd_times;
+    Growbuf.I.clear a.Arena.qd_depths;
+    {
+      policy;
+      p;
+      lean;
+      recording = not lean;
+      traced;
+      tracer;
+      registry;
+      failures;
+      max_attempts;
+      rng = Rng.create seed;
+      arena = a;
+      platform = Option.get a.Arena.platform;
+      events = a.Arena.events;
+      recycle_ok = lean && not traced;
+      counters = Metrics.make_counters ();
+      ms = Array.make 1 0.;
+      now_cell = Array.make 1 0.;
+      n = 0;
+      init_hi = 0;
+      completed = 0;
+      n_failures = 0;
+      ready_count = 0;
+      n_running = 0;
+      pending_lo = 0;
+      started = false;
+      closed = false;
+    }
+
+  (* Grow (contents-preserving) and initialize arena slots up to [j]: an
+     admission touches its own slot and, through forward dependency
+     references, possibly slots of tasks not yet admitted. *)
+  let init_through st j =
+    let a = st.arena in
+    if j >= a.Arena.cap then Arena.grow a ~n:(j + 1);
+    if j >= st.init_hi then begin
+      let state = a.Arena.state
+      and indeg = a.Arena.indeg
+      and attempt_no = a.Arena.attempt_no
+      and succ_first = a.Arena.succ_first
+      and succ_last = a.Arena.succ_last
+      and rel = a.Arena.rel in
+      for k = st.init_hi to j do
+        state.(k) <- st_unrevealed;
+        indeg.(k) <- 0;
+        attempt_no.(k) <- 0;
+        succ_first.(k) <- -1;
+        succ_last.(k) <- -1;
+        rel.(k) <- 0.
+      done;
+      if st.recording then begin
+        let first_ready = a.Arena.first_ready
+        and first_start = a.Arena.first_start
+        and service = a.Arena.service in
+        for k = st.init_hi to j do
+          first_ready.(k) <- nan;
+          first_start.(k) <- nan;
+          service.(k) <- 0.
+        done
+      end;
+      st.init_hi <- j + 1
+    end
+
+  (* Validate a whole dependency list before mutating anything, so a
+     rejected admission leaves the stepper untouched.  Top-level (not
+     nested in [admit]) so the admission hot path builds no closures. *)
+  let rec check_deps i prev hi = function
+    | [] -> hi
+    | d :: rest ->
+      if d <= prev then
+        invalid_arg
+          "Sim_core.Stepper.admit_task: deps must be strictly increasing \
+           task ids";
+      if d = i then
+        invalid_arg
+          "Sim_core.Stepper.admit_task: a task cannot depend on itself";
+      check_deps i d (if d > hi then d else hi) rest
+
+  (* Register the precedence edges of task [i].  A dependency on an
+     already-completed task is satisfied and registers nothing; every other
+     dependency appends an edge to its predecessor's intrusive successor
+     list, which therefore stays ascending in successor id (admissions
+     are).  Forward references (to tasks not yet admitted) are allowed:
+     the slot is initialized by [init_through] and the edge fires when the
+     predecessor eventually completes. *)
+  let rec register_deps a i indeg = function
+    | [] -> indeg
+    | d :: rest ->
+      if a.Arena.state.(d) = st_done then register_deps a i indeg rest
+      else begin
+        let e = Growbuf.I.length a.Arena.edge_to in
+        Growbuf.I.push a.Arena.edge_to i;
+        Growbuf.I.push a.Arena.edge_next (-1);
+        (let last = a.Arena.succ_last.(d) in
+         if last >= 0 then Growbuf.I.set a.Arena.edge_next last e
+         else a.Arena.succ_first.(d) <- e);
+        a.Arena.succ_last.(d) <- e;
+        register_deps a i (indeg + 1) rest
+      end
+
+  (* The allocation-free admission path [run] loops over (plain arguments:
+     an optional-argument call would box a [Some] per task). *)
+  let admit st rel deps task =
+    if st.closed then
+      invalid_arg "Sim_core.Stepper.admit_task: the stepper is closed";
+    if not (Float.is_finite rel) || rel < 0. then
+      invalid_arg
+        "Sim_core.Stepper.admit_task: release time must be finite and >= 0";
+    let i = st.n in
+    if task.Task.id <> i then
+      invalid_arg
+        (Printf.sprintf
+           "Sim_core.Stepper.admit_task: task id %d does not match its \
+            admission index %d"
+           task.Task.id i);
+    let hi = check_deps i (-1) i deps in
+    init_through st hi;
+    let a = st.arena in
+    a.Arena.tasks.(i) <- task;
+    a.Arena.rel.(i) <- rel;
+    let indeg = register_deps a i 0 deps in
+    a.Arena.indeg.(i) <- indeg;
+    st.n <- i + 1;
+    if indeg = 0 then Growbuf.I.push a.Arena.pending i;
+    i
+
+  let admit_task st ?release_time ?(deps = []) task =
+    admit st
+      (match release_time with None -> 0. | Some r -> r)
+      deps task
+
+  let record_ev st now kind arg1 arg2 =
+    let a = st.arena in
+    Growbuf.F.push a.Arena.tr_times now;
+    Growbuf.I.push a.Arena.tr_a (kind lor (arg1 lsl 2));
+    Growbuf.I.push a.Arena.tr_b arg2
+
+  let fail st fmt =
+    Printf.ksprintf
+      (fun s -> raise (Policy_error (st.policy.name ^ ": " ^ s)))
+      fmt
+
+  let reveal st now i =
+    let a = st.arena in
+    a.Arena.state.(i) <- st_available;
+    st.ready_count <- st.ready_count + 1;
+    if st.recording then begin
+      if Float.is_nan a.Arena.first_ready.(i) then
+        a.Arena.first_ready.(i) <- now;
+      record_ev st now ev_ready i 0
+    end;
+    if st.traced then
+      Tracer.record_instant st.tracer ~time:now ~kind:Tracer.Ready ~subject:i;
+    st.policy.on_ready ~now a.Arena.tasks.(i)
+
+  (* A task whose precedence constraints are satisfied at [now] is revealed
+     immediately, or scheduled as a future Reveal if not yet released. *)
+  let reveal_or_defer st now i =
+    let r = st.arena.Arena.rel.(i) in
+    if r <= now then reveal st now i
+    else begin
+      if st.traced then
+        Tracer.record_instant st.tracer ~time:now ~kind:Tracer.Deferred
+          ~subject:i;
+      Event_queue.add st.events ~time:r (enc_reveal i)
+    end
+
+  let rec launch_round_untimed st now =
+    let free = Platform.free_count st.platform in
+    if free > 0 then
+      match st.policy.next_launch ~now ~free with
+      | None ->
+        st.counters.Metrics.stall_checks <-
+          st.counters.Metrics.stall_checks + 1;
+        if st.traced && st.ready_count > 0 then
+          Tracer.record_instant st.tracer ~time:now ~kind:Tracer.Stall
+            ~subject:(-1)
+      | Some (tid, nprocs) ->
+        let a = st.arena in
+        if tid < 0 || tid >= st.n then fail st "launched unknown task %d" tid;
+        (if a.Arena.state.(tid) <> st_available then
+           if a.Arena.state.(tid) = st_unrevealed then
+             fail st "launched unrevealed task %d" tid
+           else if a.Arena.state.(tid) = st_running then
+             fail st "launched running task %d" tid
+           else fail st "launched completed task %d" tid);
+        if nprocs < 1 then fail st "task %d launched on %d procs" tid nprocs;
+        if nprocs > free then
+          fail st "task %d needs %d procs but only %d are free" tid nprocs
+            free;
+        (* The attempt cap is checked before any resource is acquired or
+           queued, so a violation leaves the platform and event queue
+           untouched. *)
+        if a.Arena.attempt_no.(tid) >= st.max_attempts then
+          failwith
+            (Printf.sprintf
+               "Sim_core.run: task %d reached the attempt limit (%d \
+                attempts, all failed) under failure model %s"
+               tid st.max_attempts st.failures.model_name);
+        let procs = Platform.acquire st.platform nprocs in
+        let duration = Task.time a.Arena.tasks.(tid) nprocs in
+        a.Arena.state.(tid) <- st_running;
+        st.ready_count <- st.ready_count - 1;
+        st.n_running <- st.n_running + 1;
+        a.Arena.attempt_no.(tid) <- a.Arena.attempt_no.(tid) + 1;
+        st.counters.Metrics.launches <- st.counters.Metrics.launches + 1;
+        if st.recording then begin
+          if Float.is_nan a.Arena.first_start.(tid) then
+            a.Arena.first_start.(tid) <- now;
+          record_ev st now ev_start tid nprocs
+        end;
+        a.Arena.run_start.(tid) <- now;
+        a.Arena.run_procs.(tid) <- procs;
+        Event_queue.add st.events ~time:(now +. duration) (enc_complete tid);
+        launch_round_untimed st now
+
+  let launch_round st now =
+    if st.traced then
+      Tracer.timed st.tracer "launch-round" (fun () ->
+          launch_round_untimed st now)
+    else launch_round_untimed st now
+
+  let sample_depth st now =
+    if st.recording then begin
+      Growbuf.F.push st.arena.Arena.qd_times now;
+      Growbuf.I.push st.arena.Arena.qd_depths st.ready_count
+    end
+
+  let rec unlock_edges st now e =
+    if e >= 0 then begin
+      let a = st.arena in
+      let j = Growbuf.I.get a.Arena.edge_to e in
+      a.Arena.indeg.(j) <- a.Arena.indeg.(j) - 1;
+      if a.Arena.indeg.(j) = 0 then reveal_or_defer st now j;
+      unlock_edges st now (Growbuf.I.get a.Arena.edge_next e)
+    end
+
+  (* One scheduling instant, in the same three phases as the reference
+     loop.  Precondition: [Event_queue.pop_batch] just returned [blen > 0]. *)
+  let process_batch st blen =
+    let events = st.events in
+    let now = Event_queue.batch_time events in
+    st.now_cell.(0) <- now;
+    let a = st.arena in
+    st.counters.Metrics.batches <- st.counters.Metrics.batches + 1;
+    st.counters.Metrics.events <- st.counters.Metrics.events + blen;
+    let outcomes = Arena.outcomes_for a blen in
+    let attempt_no = a.Arena.attempt_no
+    and state = a.Arena.state
+    and run_start = a.Arena.run_start
+    and run_procs = a.Arena.run_procs
+    and service = a.Arena.service in
+    (* Phase 1 — completions: release the processors of every attempt in
+       the batch and classify it (consuming the failure RNG in batch
+       order), so the policy later sees the full free count of this
+       instant. *)
+    for k = 0 to blen - 1 do
+      let payload = Event_queue.batch_payload events k in
+      if payload land 1 = 1 then begin
+        let tid = payload lsr 1 in
+        let stamp = Event_queue.batch_stamp events k in
+        let attempt = attempt_no.(tid) in
+        let start = run_start.(tid) in
+        let procs = run_procs.(tid) in
+        let failed = st.failures.fails st.rng ~task_id:tid ~attempt in
+        st.n_running <- st.n_running - 1;
+        if st.recording then begin
+          (* Attempt records report the batch instant as their finish (the
+             instant the attempt's outcome became known); the schedule
+             keeps the exact stamp. *)
+          Growbuf.I.push a.Arena.at_ints tid;
+          Growbuf.I.push a.Arena.at_ints attempt;
+          Growbuf.I.push a.Arena.at_ints
+            ((Array.length procs lsl 1) lor Bool.to_int failed);
+          Growbuf.F.push a.Arena.at_floats start;
+          Growbuf.F.push a.Arena.at_floats now;
+          Growbuf.A.push a.Arena.at_procs procs;
+          service.(tid) <- service.(tid) +. (now -. start)
+        end;
+        if st.traced then
+          Tracer.record_span st.tracer ~task_id:tid ~attempt ~t0:start
+            ~t1:now ~procs ~failed;
+        if now > st.ms.(0) then st.ms.(0) <- now;
+        if failed then begin
+          if st.recycle_ok then Platform.recycle st.platform procs
+          else Platform.release st.platform procs;
+          st.n_failures <- st.n_failures + 1;
+          st.counters.Metrics.retries <- st.counters.Metrics.retries + 1;
+          if st.recording then record_ev st now ev_failed tid attempt;
+          outcomes.(k) <- 1
+        end
+        else begin
+          Platform.release st.platform procs;
+          state.(tid) <- st_done;
+          st.completed <- st.completed + 1;
+          if st.recording then record_ev st now ev_finish tid 0;
+          Growbuf.I.push a.Arena.pl_ints tid;
+          Growbuf.F.push a.Arena.pl_floats start;
+          Growbuf.F.push a.Arena.pl_floats stamp;
+          Growbuf.A.push a.Arena.pl_procs procs;
+          outcomes.(k) <- 0
+        end
+      end
+      else outcomes.(k) <- 2
+    done;
+    (* Phase 2 — reveals, in batch order: failed attempts go back to the
+       policy (a stateless allocator naturally re-allocates them) and
+       release-time reveals fire. *)
+    for k = 0 to blen - 1 do
+      if outcomes.(k) <> 0 then
+        reveal st now (Event_queue.batch_payload events k lsr 1)
+    done;
+    (* Phase 3 — precedence: successors unlocked by this batch's successful
+       completions, still in batch order. *)
+    for k = 0 to blen - 1 do
+      if outcomes.(k) = 0 then
+        unlock_edges st now
+          a.Arena.succ_first.(Event_queue.batch_payload events k lsr 1)
+    done;
+    launch_round st now;
+    sample_depth st now
+
+  (* Reveal every admitted-but-unprocessed dependency-free task (in
+     admission order), then run a launch round at the current instant —
+     exactly the source flush the batch run performs at time 0. *)
+  let flush_pending_and_launch st =
+    let a = st.arena in
+    let len = Growbuf.I.length a.Arena.pending in
+    let now = st.now_cell.(0) in
+    let i = ref st.pending_lo in
+    st.pending_lo <- len;
+    while !i < len do
+      reveal_or_defer st now (Growbuf.I.get a.Arena.pending !i);
+      incr i
+    done;
+    launch_round st now;
+    sample_depth st now
+
+  let start st =
+    if not st.started then begin
+      st.started <- true;
+      flush_pending_and_launch st
+    end
+
+  (* After the clock has started, a flush only happens when a new
+     dependency-free admission is waiting: batch-equivalent drives never
+     trigger it, so the launch-round/depth-sample stream is untouched. *)
+  let flush_if_pending st =
+    if st.pending_lo < Growbuf.I.length st.arena.Arena.pending then
+      flush_pending_and_launch st
+
+  let advance st ~until =
+    if st.closed then
+      invalid_arg "Sim_core.Stepper.advance: the stepper is closed";
+    if Float.is_nan until then
+      invalid_arg "Sim_core.Stepper.advance: until must not be NaN";
+    start st;
+    flush_if_pending st;
+    let batches = ref 0 in
+    let rec loop () =
+      match Event_queue.next_time st.events with
+      | Some t when t <= until ->
+        let blen = Event_queue.pop_batch st.events in
+        if blen > 0 then begin
+          process_batch st blen;
+          incr batches;
+          loop ()
+        end
+      | Some _ | None -> ()
+    in
+    loop ();
+    if until > st.now_cell.(0) then st.now_cell.(0) <- until;
+    !batches
+
+  let finalize st =
+    let a = st.arena in
+    let n = st.n in
+    let attempts =
+      if st.lean then []
+      else begin
+        let m = Growbuf.A.length a.Arena.at_procs in
+        let lst = ref [] in
+        for k = m - 1 downto 0 do
+          let packed = Growbuf.I.get a.Arena.at_ints ((3 * k) + 2) in
+          lst :=
+            {
+              task_id = Growbuf.I.get a.Arena.at_ints (3 * k);
+              attempt = Growbuf.I.get a.Arena.at_ints ((3 * k) + 1);
+              start = Growbuf.F.get a.Arena.at_floats (2 * k);
+              finish = Growbuf.F.get a.Arena.at_floats ((2 * k) + 1);
+              nprocs = packed lsr 1;
+              procs = Growbuf.A.get a.Arena.at_procs k;
+              failed = packed land 1 = 1;
+            }
+            :: !lst
+        done;
+        List.sort
+          (fun x y ->
+            match Float.compare x.start y.start with
+            | 0 -> (
+              match Int.compare x.task_id y.task_id with
+              | 0 -> Int.compare x.attempt y.attempt
+              | c -> c)
+            | c -> c)
+          !lst
+      end
+    in
+    let builder = Schedule.builder ~p:st.p ~n in
+    let m = Growbuf.A.length a.Arena.pl_procs in
+    for k = 0 to m - 1 do
+      let procs = Growbuf.A.get a.Arena.pl_procs k in
+      Schedule.add builder
+        {
+          Schedule.task_id = Growbuf.I.get a.Arena.pl_ints k;
+          start = Growbuf.F.get a.Arena.pl_floats (2 * k);
+          finish = Growbuf.F.get a.Arena.pl_floats ((2 * k) + 1);
+          nprocs = Array.length procs;
+          procs;
+        }
+    done;
+    let schedule = Schedule.finalize builder in
+    let trace =
+      if st.lean then []
+      else begin
+        let m = Growbuf.F.length a.Arena.tr_times in
+        let lst = ref [] in
+        for k = m - 1 downto 0 do
+          let packed = Growbuf.I.get a.Arena.tr_a k in
+          let arg1 = packed lsr 2 and b = Growbuf.I.get a.Arena.tr_b k in
+          let ev =
+            match packed land 3 with
+            | 0 -> Ready arg1
+            | 1 -> Start (arg1, b)
+            | 2 -> Finish arg1
+            | _ -> Failed (arg1, b)
+          in
+          lst := (Growbuf.F.get a.Arena.tr_times k, ev) :: !lst
+        done;
+        !lst
+      end
+    in
+    let metrics =
+      if st.lean then
+        Metrics.build ~p:st.p ~counters:st.counters ~queue_depth:[]
+          ~tasks:[||] ~spans:[]
+      else begin
+        let first_ready = a.Arena.first_ready
+        and first_start = a.Arena.first_start
+        and service = a.Arena.service
+        and attempt_no = a.Arena.attempt_no in
+        let tasks =
+          Array.init n (fun i ->
+              {
+                Metrics.task_id = i;
+                ready = first_ready.(i);
+                start = first_start.(i);
+                finish = (Schedule.placement schedule i).Schedule.finish;
+                wait = first_start.(i) -. first_ready.(i);
+                service = service.(i);
+                attempts = attempt_no.(i);
+              })
+        in
+        let queue_depth =
+          List.init (Growbuf.F.length a.Arena.qd_times) (fun k ->
+              ( Growbuf.F.get a.Arena.qd_times k,
+                Growbuf.I.get a.Arena.qd_depths k ))
+        in
+        let spans =
+          List.map (fun at -> (at.start, at.finish, at.nprocs)) attempts
+        in
+        Metrics.build ~p:st.p ~counters:st.counters ~queue_depth ~tasks
+          ~spans
+      end
+    in
+    (* Publish the run counters to an attached telemetry registry in one
+       shot: the totals are identical to incrementing per event, and the
+       hot loop stays untouched (a [Registry.null] run skips this block
+       entirely). *)
+    (let module R = Moldable_obs.Registry in
+     if R.enabled st.registry then begin
+       let c name help v =
+         R.incr_by (R.counter st.registry ~name ~help) (float_of_int v)
+       in
+       c "moldable_sim_events" "Simulation events processed"
+         st.counters.Metrics.events;
+       c "moldable_sim_batches" "Simultaneous-completion batches processed"
+         st.counters.Metrics.batches;
+       c "moldable_sim_launches" "Task attempts launched"
+         st.counters.Metrics.launches;
+       c "moldable_sim_retries" "Failed attempts re-queued for retry"
+         st.counters.Metrics.retries;
+       c "moldable_sim_stall_checks"
+         "Launch rounds the policy ended by declining to launch"
+         st.counters.Metrics.stall_checks;
+       c "moldable_sim_runs" "Completed simulation runs" 1
+     end);
+    {
+      schedule;
+      trace;
+      attempts;
+      makespan = st.ms.(0);
+      n_attempts = st.counters.Metrics.launches;
+      n_failures = st.n_failures;
+      metrics;
+    }
+
+  let drain st =
+    if st.closed then
+      invalid_arg "Sim_core.Stepper.drain: the stepper is closed";
+    Fun.protect
+      ~finally:(fun () ->
+        st.closed <- true;
+        st.arena.Arena.in_use <- false)
+      (fun () ->
+        start st;
+        flush_if_pending st;
+        let n = st.n in
+        let event_loop () =
+          while st.completed < n do
+            let blen = Event_queue.pop_batch st.events in
+            if blen = 0 then
+              fail st
+                "stalled: %d of %d tasks completed but nothing is running"
+                st.completed n
+            else process_batch st blen
+          done
+        in
+        if st.traced then Tracer.timed st.tracer "event-loop" event_loop
+        else event_loop ();
+        finalize st)
+
+  let abandon st =
+    if not st.closed then begin
+      st.closed <- true;
+      st.arena.Arena.in_use <- false
+    end
+
+  (* ------------------------------------------------------- introspection *)
+
+  let now st = st.now_cell.(0)
+  let started st = st.started
+  let closed st = st.closed
+  let admitted st = st.n
+  let completed st = st.completed
+  let ready st = st.ready_count
+  let running st = st.n_running
+  let free_procs st = Platform.free_count st.platform
+  let makespan_so_far st = st.ms.(0)
+  let next_event_time st = Event_queue.next_time st.events
+  let n_events st = Growbuf.F.length st.arena.Arena.tr_times
+
+  let events_from st k0 =
+    let a = st.arena in
+    let m = Growbuf.F.length a.Arena.tr_times in
+    let lst = ref [] in
+    for k = m - 1 downto max 0 k0 do
+      let packed = Growbuf.I.get a.Arena.tr_a k in
+      let arg1 = packed lsr 2 and b = Growbuf.I.get a.Arena.tr_b k in
+      let ev =
+        match packed land 3 with
+        | 0 -> Ready arg1
+        | 1 -> Start (arg1, b)
+        | 2 -> Finish arg1
+        | _ -> Failed (arg1, b)
+      in
+      lst := (Growbuf.F.get a.Arena.tr_times k, ev) :: !lst
+    done;
+    !lst
+end
+
 let run ?release_times ?(seed = 0) ?(max_attempts = max_int)
     ?(failures = never) ?(tracer = Tracer.null)
     ?(registry = Moldable_obs.Registry.null) ?arena ?(lean = false) ~p policy
     dag =
   let n = Dag.n dag in
-  (* One branch per hook when tracing is off: [traced] is read once here and
-     every tracer call below is guarded by it, so [Tracer.null] runs do no
-     tracing work and allocate nothing on the hot path. *)
-  let traced = Tracer.enabled tracer in
-  let recording = not lean in
   validate_inputs ?release_times ~max_attempts ~n ();
-  let release i =
-    match release_times with None -> 0. | Some r -> r.(i)
+  let st =
+    Stepper.create ~seed ~max_attempts ~failures ~tracer ~registry ?arena
+      ~lean ~capacity:n ~p policy
   in
-  let rng = Rng.create seed in
-  let a =
-    match arena with
-    | Some a when not a.Arena.in_use -> a
-    | Some _ | None -> Arena.create ()
-  in
-  a.Arena.in_use <- true;
-  Fun.protect
-    ~finally:(fun () -> a.Arena.in_use <- false)
-    (fun () ->
-      Arena.ensure a ~p ~n;
-      let platform = Option.get a.Arena.platform in
-      let events = a.Arena.events in
-      Event_queue.clear events;
-      let state = a.Arena.state in
-      Array.fill state 0 n st_unrevealed;
-      let indeg = a.Arena.indeg in
+  match
+    (match release_times with
+    | None ->
       for i = 0 to n - 1 do
-        indeg.(i) <- Dag.in_degree dag i
-      done;
-      let attempt_no = a.Arena.attempt_no in
-      Array.fill attempt_no 0 n 0;
-      let first_ready = a.Arena.first_ready in
-      let first_start = a.Arena.first_start in
-      let service = a.Arena.service in
-      if recording then begin
-        Array.fill first_ready 0 n nan;
-        Array.fill first_start 0 n nan;
-        Array.fill service 0 n 0.
-      end;
-      let run_start = a.Arena.run_start in
-      let run_procs = a.Arena.run_procs in
-      Growbuf.F.clear a.Arena.tr_times;
-      Growbuf.I.clear a.Arena.tr_a;
-      Growbuf.I.clear a.Arena.tr_b;
-      Growbuf.I.clear a.Arena.at_ints;
-      Growbuf.F.clear a.Arena.at_floats;
-      Growbuf.A.clear a.Arena.at_procs;
-      Growbuf.F.clear a.Arena.qd_times;
-      Growbuf.I.clear a.Arena.qd_depths;
-      let builder = Schedule.builder ~p ~n in
-      let completed = ref 0 in
-      let n_failures = ref 0 in
-      (* A one-cell float array, not a [float ref]: the cell is written once
-         per completion, and assigning an unboxed local to a float ref boxes
-         it every time, while a float-array store does not. *)
-      let makespan = Array.make 1 0. in
-      (* Observability state: counters mutate in place; the ready count and
-         per-task arrays feed the Metrics report after the run. *)
-      let counters = Metrics.make_counters () in
-      let ready_count = ref 0 in
-      (* A failed attempt's processor block can return to the platform's
-         segment pool only when nothing retains it: lean mode keeps no
-         attempt records, and a live tracer would capture the block in its
-         spans. *)
-      let recycle_ok = lean && not traced in
-      let record_ev now kind arg1 arg2 =
-        Growbuf.F.push a.Arena.tr_times now;
-        Growbuf.I.push a.Arena.tr_a (kind lor (arg1 lsl 2));
-        Growbuf.I.push a.Arena.tr_b arg2
-      in
-      let fail fmt =
-        Printf.ksprintf
-          (fun s -> raise (Policy_error (policy.name ^ ": " ^ s)))
-          fmt
-      in
-      let reveal now i =
-        state.(i) <- st_available;
-        incr ready_count;
-        if recording then begin
-          if Float.is_nan first_ready.(i) then first_ready.(i) <- now;
-          record_ev now ev_ready i 0
-        end;
-        if traced then
-          Tracer.record_instant tracer ~time:now ~kind:Tracer.Ready ~subject:i;
-        policy.on_ready ~now (Dag.task dag i)
-      in
-      (* A task whose precedence constraints are satisfied at [now] is
-         revealed immediately, or scheduled as a future Reveal if not yet
-         released. *)
-      let reveal_or_defer now i =
-        if release i <= now then reveal now i
-        else begin
-          if traced then
-            Tracer.record_instant tracer ~time:now ~kind:Tracer.Deferred
-              ~subject:i;
-          Event_queue.add events ~time:(release i) (enc_reveal i)
-        end
-      in
-      (* A recursive function rather than an inner [let rec loop () = ...]:
-         the inner closure would be rebuilt on every scheduling instant. *)
-      let rec launch_round_untimed now =
-        begin
-          let free = Platform.free_count platform in
-          if free > 0 then
-            match policy.next_launch ~now ~free with
-            | None ->
-              counters.Metrics.stall_checks <-
-                counters.Metrics.stall_checks + 1;
-              if traced && !ready_count > 0 then
-                Tracer.record_instant tracer ~time:now ~kind:Tracer.Stall
-                  ~subject:(-1)
-            | Some (tid, nprocs) ->
-              if tid < 0 || tid >= n then fail "launched unknown task %d" tid;
-              (if state.(tid) <> st_available then
-                 if state.(tid) = st_unrevealed then
-                   fail "launched unrevealed task %d" tid
-                 else if state.(tid) = st_running then
-                   fail "launched running task %d" tid
-                 else fail "launched completed task %d" tid);
-              if nprocs < 1 then fail "task %d launched on %d procs" tid nprocs;
-              if nprocs > free then
-                fail "task %d needs %d procs but only %d are free" tid nprocs
-                  free;
-              (* The attempt cap is checked before any resource is acquired
-                 or queued, so a violation leaves the platform and event
-                 queue untouched. *)
-              if attempt_no.(tid) >= max_attempts then
-                failwith
-                  (Printf.sprintf
-                     "Sim_core.run: task %d reached the attempt limit (%d \
-                      attempts, all failed) under failure model %s"
-                     tid max_attempts failures.model_name);
-              let procs = Platform.acquire platform nprocs in
-              let duration = Task.time (Dag.task dag tid) nprocs in
-              state.(tid) <- st_running;
-              decr ready_count;
-              attempt_no.(tid) <- attempt_no.(tid) + 1;
-              counters.Metrics.launches <- counters.Metrics.launches + 1;
-              if recording then begin
-                if Float.is_nan first_start.(tid) then first_start.(tid) <- now;
-                record_ev now ev_start tid nprocs
-              end;
-              run_start.(tid) <- now;
-              run_procs.(tid) <- procs;
-              Event_queue.add events ~time:(now +. duration) (enc_complete tid);
-              launch_round_untimed now
-        end
-      in
-      let launch_round now =
-        if traced then
-          Tracer.timed tracer "launch-round" (fun () ->
-              launch_round_untimed now)
-        else launch_round_untimed now
-      in
-      let sample_depth now =
-        if recording then begin
-          Growbuf.F.push a.Arena.qd_times now;
-          Growbuf.I.push a.Arena.qd_depths !ready_count
-        end
-      in
-      (* Hoisted out of the batch loop for the same reason as
-         [launch_round_untimed]: a [List.iter] closure over [now] would be
-         one allocation per completion batch. *)
-      let rec unlock_successors now = function
-        | [] -> ()
-        | j :: rest ->
-          indeg.(j) <- indeg.(j) - 1;
-          if indeg.(j) = 0 then reveal_or_defer now j;
-          unlock_successors now rest
-      in
-      List.iter (reveal_or_defer 0.) (Dag.sources dag);
-      launch_round 0.;
-      sample_depth 0.;
-      let event_loop () =
-        while !completed < n do
-          let blen = Event_queue.pop_batch events in
-          if blen = 0 then
-            fail "stalled: %d of %d tasks completed but nothing is running"
-              !completed n
-          else begin
-            let now = Event_queue.batch_time events in
-            counters.Metrics.batches <- counters.Metrics.batches + 1;
-            counters.Metrics.events <- counters.Metrics.events + blen;
-            let outcomes = Arena.outcomes_for a blen in
-            (* Phase 1 — completions: release the processors of every
-               attempt in the batch and classify it (consuming the failure
-               RNG in batch order), so the policy later sees the full free
-               count of this instant. *)
-            for k = 0 to blen - 1 do
-              let payload = Event_queue.batch_payload events k in
-              if payload land 1 = 1 then begin
-                let tid = payload lsr 1 in
-                let stamp = Event_queue.batch_stamp events k in
-                let attempt = attempt_no.(tid) in
-                let start = run_start.(tid) in
-                let procs = run_procs.(tid) in
-                let failed = failures.fails rng ~task_id:tid ~attempt in
-                if recording then begin
-                  (* Attempt records report the batch instant as their
-                     finish (the instant the attempt's outcome became
-                     known); the schedule keeps the exact stamp. *)
-                  Growbuf.I.push a.Arena.at_ints tid;
-                  Growbuf.I.push a.Arena.at_ints attempt;
-                  Growbuf.I.push a.Arena.at_ints
-                    ((Array.length procs lsl 1) lor Bool.to_int failed);
-                  Growbuf.F.push a.Arena.at_floats start;
-                  Growbuf.F.push a.Arena.at_floats now;
-                  Growbuf.A.push a.Arena.at_procs procs;
-                  service.(tid) <- service.(tid) +. (now -. start)
-                end;
-                if traced then
-                  Tracer.record_span tracer ~task_id:tid ~attempt ~t0:start
-                    ~t1:now ~procs ~failed;
-                if now > makespan.(0) then makespan.(0) <- now;
-                if failed then begin
-                  if recycle_ok then Platform.recycle platform procs
-                  else Platform.release platform procs;
-                  incr n_failures;
-                  counters.Metrics.retries <- counters.Metrics.retries + 1;
-                  if recording then record_ev now ev_failed tid attempt;
-                  outcomes.(k) <- 1
-                end
-                else begin
-                  Platform.release platform procs;
-                  state.(tid) <- st_done;
-                  incr completed;
-                  if recording then record_ev now ev_finish tid 0;
-                  Schedule.add builder
-                    { Schedule.task_id = tid; start; finish = stamp;
-                      nprocs = Array.length procs; procs };
-                  outcomes.(k) <- 0
-                end
-              end
-              else outcomes.(k) <- 2
-            done;
-            (* Phase 2 — reveals, in batch order: failed attempts go back
-               to the policy (a stateless allocator naturally re-allocates
-               them) and release-time reveals fire. *)
-            for k = 0 to blen - 1 do
-              if outcomes.(k) <> 0 then
-                reveal now (Event_queue.batch_payload events k lsr 1)
-            done;
-            (* Phase 3 — precedence: successors unlocked by this batch's
-               successful completions, still in batch order. *)
-            for k = 0 to blen - 1 do
-              if outcomes.(k) = 0 then
-                unlock_successors now
-                  (Dag.successors dag
-                     (Event_queue.batch_payload events k lsr 1))
-            done;
-            launch_round now;
-            sample_depth now
-          end
-        done
-      in
-      if traced then Tracer.timed tracer "event-loop" event_loop
-      else event_loop ();
-      let attempts =
-        if lean then []
-        else begin
-          let m = Growbuf.A.length a.Arena.at_procs in
-          let lst = ref [] in
-          for k = m - 1 downto 0 do
-            let packed = Growbuf.I.get a.Arena.at_ints ((3 * k) + 2) in
-            lst :=
-              {
-                task_id = Growbuf.I.get a.Arena.at_ints (3 * k);
-                attempt = Growbuf.I.get a.Arena.at_ints ((3 * k) + 1);
-                start = Growbuf.F.get a.Arena.at_floats (2 * k);
-                finish = Growbuf.F.get a.Arena.at_floats ((2 * k) + 1);
-                nprocs = packed lsr 1;
-                procs = Growbuf.A.get a.Arena.at_procs k;
-                failed = packed land 1 = 1;
-              }
-              :: !lst
-          done;
-          List.sort
-            (fun x y ->
-              match Float.compare x.start y.start with
-              | 0 -> (
-                match Int.compare x.task_id y.task_id with
-                | 0 -> Int.compare x.attempt y.attempt
-                | c -> c)
-              | c -> c)
-            !lst
-        end
-      in
-      let schedule = Schedule.finalize builder in
-      let trace =
-        if lean then []
-        else begin
-          let m = Growbuf.F.length a.Arena.tr_times in
-          let lst = ref [] in
-          for k = m - 1 downto 0 do
-            let packed = Growbuf.I.get a.Arena.tr_a k in
-            let arg1 = packed lsr 2 and b = Growbuf.I.get a.Arena.tr_b k in
-            let ev =
-              match packed land 3 with
-              | 0 -> Ready arg1
-              | 1 -> Start (arg1, b)
-              | 2 -> Finish arg1
-              | _ -> Failed (arg1, b)
-            in
-            lst := (Growbuf.F.get a.Arena.tr_times k, ev) :: !lst
-          done;
-          !lst
-        end
-      in
-      let metrics =
-        if lean then
-          Metrics.build ~p ~counters ~queue_depth:[] ~tasks:[||] ~spans:[]
-        else begin
-          let tasks =
-            Array.init n (fun i ->
-                {
-                  Metrics.task_id = i;
-                  ready = first_ready.(i);
-                  start = first_start.(i);
-                  finish = (Schedule.placement schedule i).Schedule.finish;
-                  wait = first_start.(i) -. first_ready.(i);
-                  service = service.(i);
-                  attempts = attempt_no.(i);
-                })
-          in
-          let queue_depth =
-            List.init (Growbuf.F.length a.Arena.qd_times) (fun k ->
-                ( Growbuf.F.get a.Arena.qd_times k,
-                  Growbuf.I.get a.Arena.qd_depths k ))
-          in
-          let spans =
-            List.map (fun at -> (at.start, at.finish, at.nprocs)) attempts
-          in
-          Metrics.build ~p ~counters ~queue_depth ~tasks ~spans
-        end
-      in
-      (* Publish the run counters to an attached telemetry registry in one
-         shot: the totals are identical to incrementing per event, and the
-         hot loop stays untouched (a [Registry.null] run skips this block
-         entirely). *)
-      (let module R = Moldable_obs.Registry in
-       if R.enabled registry then begin
-         let c name help v =
-           R.incr_by (R.counter registry ~name ~help) (float_of_int v)
-         in
-         c "moldable_sim_events" "Simulation events processed"
-           counters.Metrics.events;
-         c "moldable_sim_batches" "Simultaneous-completion batches processed"
-           counters.Metrics.batches;
-         c "moldable_sim_launches" "Task attempts launched"
-           counters.Metrics.launches;
-         c "moldable_sim_retries" "Failed attempts re-queued for retry"
-           counters.Metrics.retries;
-         c "moldable_sim_stall_checks"
-           "Launch rounds the policy ended by declining to launch"
-           counters.Metrics.stall_checks;
-         c "moldable_sim_runs" "Completed simulation runs" 1
-       end);
-      {
-        schedule;
-        trace;
-        attempts;
-        makespan = makespan.(0);
-        n_attempts = counters.Metrics.launches;
-        n_failures = !n_failures;
-        metrics;
-      })
+        ignore
+          (Stepper.admit st 0. (Dag.predecessors dag i) (Dag.task dag i)
+            : int)
+      done
+    | Some r ->
+      for i = 0 to n - 1 do
+        ignore
+          (Stepper.admit st r.(i) (Dag.predecessors dag i) (Dag.task dag i)
+            : int)
+      done);
+    Stepper.drain st
+  with
+  | result -> result
+  | exception e ->
+    Stepper.abandon st;
+    raise e
 
 (* ----------------------------------------------------- reference event loop *)
 

@@ -107,6 +107,119 @@ module Arena : sig
       {!Moldable_util.Pool} workers, which are long-lived. *)
 end
 
+(** {1 Incremental stepper}
+
+    The re-entrant form of the event loop, for long-running online
+    consumers (the {!Moldable_service} daemon): tasks can be admitted
+    {e after} the virtual clock has started, and the clock advances in
+    bounded steps instead of running to completion.  {!run} is a thin
+    loop over this module — create, admit every task of the DAG in id
+    order, drain — so a stepper driven with the same admissions produces
+    {e bit-identical} results to the batch run.
+
+    The equivalence extends to late admission: a task admitted at any
+    point strictly before the scheduling instant that completes its last
+    outstanding dependency is revealed through the same unlock path, at
+    the same position, as if it had been admitted up front (the
+    differential suite exercises exactly this).  A dependency-free task
+    admitted after the clock started is revealed at the current instant on
+    the next [advance]/[drain]. *)
+module Stepper : sig
+  type t
+
+  val create :
+    ?seed:int ->
+    ?max_attempts:int ->
+    ?failures:failure_model ->
+    ?tracer:Tracer.t ->
+    ?registry:Moldable_obs.Registry.t ->
+    ?arena:Arena.t ->
+    ?lean:bool ->
+    ?capacity:int ->
+    p:int ->
+    policy ->
+    t
+  (** All options have the same meaning and defaults as on {!run}.
+      [capacity] pre-sizes the per-task storage (the stepper grows on
+      demand past it).  The stepper holds the arena until {!drain} or
+      {!abandon}. *)
+
+  val admit_task : t -> ?release_time:float -> ?deps:int list -> Task.t -> int
+  (** Admit a task and return its id, which is the number of previously
+      admitted tasks — [task.id] must equal it.  [deps] (default none) are
+      the ids of its direct predecessors, strictly increasing; forward
+      references to not-yet-admitted ids are permitted (the run then
+      stalls if they are never admitted), and dependencies on
+      already-completed tasks are immediately satisfied.  [release_time]
+      (default 0, finite, non-negative) delays the task's reveal as in
+      {!run}.
+
+      @raise Invalid_argument on a closed stepper, mismatched task id,
+      ill-formed deps or release time. *)
+
+  val advance : t -> until:float -> int
+  (** Process every scheduling instant with an event stamp [<= until] and
+      return how many were processed; afterwards {!now} is at least
+      [until] (a batch's ulp-tolerant instant may exceed its earliest
+      stamp, and so [until], by the batching epsilon).  The first call
+      (or {!drain}) performs the time-0 source flush.  [until] may be
+      [infinity] to process everything currently queued.
+
+      @raise Policy_error on policy misbehaviour.
+      @raise Invalid_argument on a closed stepper or NaN [until]. *)
+
+  val drain : t -> result
+  (** Run to completion of every admitted task and build the {!result}
+      (identical to what {!run} returns for the same admissions).  The
+      stepper is closed afterwards — even on failure — and the arena is
+      released.
+
+      @raise Policy_error if the policy stalls or misbehaves, including
+      when an unadmitted forward dependency leaves tasks unrevealable.
+      @raise Failure when a task would exceed [max_attempts]. *)
+
+  val abandon : t -> unit
+  (** Close the stepper without draining and release the arena; safe to
+      call at any point, idempotent.  Used by servers tearing down a
+      session mid-run. *)
+
+  (** {2 Introspection}
+
+      Cheap queries for serving live status; none of them affect the
+      simulation. *)
+
+  val now : t -> float
+  (** Current virtual time: the latest processed scheduling instant or
+      [advance] horizon. *)
+
+  val started : t -> bool
+  val closed : t -> bool
+
+  val admitted : t -> int
+  (** Tasks admitted so far (also the id the next admission gets). *)
+
+  val completed : t -> int
+  val ready : t -> int
+  (** Tasks currently revealed and waiting for processors. *)
+
+  val running : t -> int
+  val free_procs : t -> int
+  val makespan_so_far : t -> float
+  (** Latest completion instant processed so far (0 before the first). *)
+
+  val next_event_time : t -> float option
+  (** Stamp of the earliest queued event — the next instant [advance]
+      would process ([None] when nothing is queued). *)
+
+  val n_events : t -> int
+  (** Trace events recorded so far (0 in lean mode). *)
+
+  val events_from : t -> int -> (float * event) list
+  (** [events_from t k] is the chronological trace suffix starting at
+      event index [k]: the incremental window a subscriber polls with
+      [k = n_events] from the previous call.  Always empty in lean mode. *)
+end
+
 val run :
   ?release_times:float array ->
   ?seed:int ->

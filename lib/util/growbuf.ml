@@ -44,6 +44,10 @@ module I = struct
   let get t i =
     if i < 0 || i >= t.len then invalid_arg "Growbuf.I.get: index out of range";
     t.data.(i)
+
+  let set t i x =
+    if i < 0 || i >= t.len then invalid_arg "Growbuf.I.set: index out of range";
+    t.data.(i) <- x
 end
 
 module A = struct

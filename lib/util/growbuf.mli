@@ -28,6 +28,11 @@ module I : sig
   val length : t -> int
   val push : t -> int -> unit
   val get : t -> int -> int
+
+  val set : t -> int -> int -> unit
+  (** Overwrite an already-pushed slot (index [< length]); the simulation
+      core uses this to patch the [next] links of its intrusive
+      successor-edge lists. *)
 end
 
 module A : sig

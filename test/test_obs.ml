@@ -336,6 +336,107 @@ let test_json_parse_details () =
   Alcotest.(check string) "nan -> null" "null"
     (Json.to_string_compact (Json.Num Float.nan))
 
+(* ------------------------------------------------------------ Json fuzzing *)
+
+(* The parser reads untrusted network input in the service daemon, so it
+   must never raise and must bound both document size and nesting. *)
+
+let prop_json_parser_never_raises =
+  QCheck.Test.make ~name:"of_string never raises on arbitrary bytes"
+    ~count:2000
+    QCheck.(string_gen QCheck.Gen.char)
+    (fun s ->
+      match Json.of_string s with Ok _ | Error _ -> true)
+
+let json_gen =
+  QCheck.Gen.(
+    sized_size (int_bound 5)
+    @@ fix (fun self n ->
+           let scalar =
+             oneof
+               [
+                 return Json.Null;
+                 map (fun b -> Json.Bool b) bool;
+                 map (fun i -> Json.Num (float_of_int i /. 64.)) int;
+                 map (fun s -> Json.Str s) (string_size (int_bound 12));
+               ]
+           in
+           if n = 0 then scalar
+           else
+             frequency
+               [
+                 (2, scalar);
+                 ( 1,
+                   map
+                     (fun l -> Json.List l)
+                     (list_size (int_bound 4) (self (n - 1))) );
+                 ( 1,
+                   map
+                     (fun l -> Json.Obj l)
+                     (list_size (int_bound 4)
+                        (pair (string_size (int_bound 8)) (self (n - 1)))) );
+               ]))
+
+let prop_json_print_parse_round_trip =
+  QCheck.Test.make
+    ~name:"parse (print v) = v for generated documents (both printers)"
+    ~count:500
+    (QCheck.make ~print:Json.to_string json_gen)
+    (fun v ->
+      Json.of_string (Json.to_string_compact v) = Ok v
+      && Json.of_string (Json.to_string v) = Ok v)
+
+let test_json_depth_and_size_limits () =
+  let deep d = String.make d '[' ^ String.make d ']' in
+  (match Json.of_string (deep Json.default_max_depth) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("rejected depth at the default bound: " ^ e));
+  (match Json.of_string (deep (Json.default_max_depth + 1)) with
+  | Ok _ -> Alcotest.fail "accepted nesting past the default bound"
+  | Error _ -> ());
+  (* A pathological input far past the bound must fail cleanly, not blow
+     the stack. *)
+  (match Json.of_string (String.make 1_000_000 '[') with
+  | Ok _ -> Alcotest.fail "accepted a million open brackets"
+  | Error _ -> ());
+  (match Json.of_string ~max_depth:2 "[[1]]" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Json.of_string ~max_depth:2 "[[[1]]]" with
+  | Ok _ -> Alcotest.fail "accepted nesting past an explicit bound"
+  | Error _ -> ());
+  (match Json.of_string ~max_bytes:5 "[1,2]" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  match Json.of_string ~max_bytes:4 "[1,2]" with
+  | Ok _ -> Alcotest.fail "accepted input longer than max_bytes"
+  | Error _ -> ()
+
+let test_json_surrogates () =
+  (match Json.of_string {|"\ud83d\ude00"|} with
+  | Ok (Json.Str s) ->
+    Alcotest.(check string) "paired surrogates combine" "\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error e -> Alcotest.fail e);
+  (match Json.of_string {|"\ud800"|} with
+  | Ok _ -> Alcotest.fail "accepted an unpaired high surrogate"
+  | Error _ -> ());
+  (match Json.of_string {|"\udc00x"|} with
+  | Ok _ -> Alcotest.fail "accepted a lone low surrogate"
+  | Error _ -> ());
+  match Json.of_string "\"raw \x01 control\"" with
+  | Ok _ -> Alcotest.fail "accepted a raw control character in a string"
+  | Error _ -> ()
+
+let test_json_duplicate_keys () =
+  match Json.of_string {|{"k": 1, "k": 2}|} with
+  | Ok v -> (
+    match Json.member "k" v with
+    | Some (Json.Num f) ->
+      Alcotest.(check (float 0.)) "member returns the first binding" 1. f
+    | _ -> Alcotest.fail "missing k")
+  | Error e -> Alcotest.fail e
+
 (* ----------------------------------------------------- snapshot round trip *)
 
 let populated_registry () =
@@ -574,6 +675,15 @@ let () =
         [
           Alcotest.test_case "round trip" `Quick test_json_round_trip;
           Alcotest.test_case "parse details" `Quick test_json_parse_details;
+        ] );
+      ( "json fuzz",
+        [
+          qt prop_json_parser_never_raises;
+          qt prop_json_print_parse_round_trip;
+          Alcotest.test_case "depth and size limits" `Quick
+            test_json_depth_and_size_limits;
+          Alcotest.test_case "surrogates" `Quick test_json_surrogates;
+          Alcotest.test_case "duplicate keys" `Quick test_json_duplicate_keys;
         ] );
       ( "snapshot",
         [
